@@ -1,0 +1,216 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section at the `quick` scale, then runs Bechamel
+   micro-benchmarks over the hot paths of the implementation.
+
+   Run with: dune exec bench/main.exe
+   Pass --scale standard (or paper) for larger experiment scales, or a
+   subset of section names (table1 table2 fig1 fig2 fig5 fig6 ablation
+   micro) to run only those. *)
+
+module Drivers = Altune_experiments.Drivers
+module Scale = Altune_experiments.Scale
+
+let section name f =
+  Printf.printf "==============================================================\n";
+  Printf.printf "%s\n" name;
+  Printf.printf "==============================================================\n%!";
+  let t0 = Unix.gettimeofday () in
+  print_string (f ());
+  Printf.printf "\n[%s regenerated in %.1fs wall time]\n\n%!" name
+    (Unix.gettimeofday () -. t0)
+
+(* --- Bechamel micro-benchmarks of the implementation's hot paths --- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let module Rng = Altune_prng.Rng in
+  let module Dt = Altune_dynatree.Dynatree in
+  let module Spapt = Altune_spapt.Spapt in
+  let module Parser = Altune_kernellang.Parser in
+  let module Analysis = Altune_kernellang.Analysis in
+  let module Machine = Altune_machine.Machine in
+  let module Transform = Altune_kernellang.Transform in
+  let rng = Rng.create ~seed:1 in
+  let rng_test =
+    Test.make ~name:"rng.normal" (Staged.stage (fun () -> Rng.normal rng))
+  in
+  let mm_src = Altune_spapt.Kernels.source "mm" in
+  let parse_test =
+    Test.make ~name:"parser.mm"
+      (Staged.stage (fun () -> ignore (Parser.parse_kernel mm_src)))
+  in
+  let mm_kernel = Parser.parse_kernel mm_src in
+  let transform_test =
+    Test.make ~name:"transform.tile+unroll"
+      (Staged.stage (fun () ->
+           ignore
+             (Result.bind
+                (Transform.tile_nest [ ("i", 16); ("j", 16); ("k", 16) ]
+                   mm_kernel)
+                (Transform.unroll ~index:"k" ~factor:4))))
+  in
+  let analyzed = Analysis.analyze mm_kernel in
+  let machine_test =
+    Test.make ~name:"machine.estimate"
+      (Staged.stage (fun () ->
+           ignore (Machine.estimate Machine.default analyzed)))
+  in
+  let bench = Spapt.create "mvt" in
+  let eval_rng = Rng.create ~seed:3 in
+  let spapt_test =
+    Test.make ~name:"spapt.measure(memoized)"
+      (Staged.stage (fun () ->
+           let c = Spapt.random_config bench eval_rng in
+           ignore (Spapt.measure bench ~rng:eval_rng ~run_index:1 c)))
+  in
+  (* Dynamic tree: trained once, then benchmark observe / predict / alc. *)
+  let params = { Dt.default_params with n_particles = 60 } in
+  let model = Dt.create ~params ~rng:(Rng.create ~seed:5) 5 in
+  let obs_rng = Rng.create ~seed:7 in
+  for _ = 1 to 200 do
+    let x = Array.init 5 (fun _ -> Rng.uniform obs_rng) in
+    Dt.observe model x (Rng.normal obs_rng)
+  done;
+  let observe_test =
+    Test.make ~name:"dynatree.observe"
+      (Staged.stage (fun () ->
+           let x = Array.init 5 (fun _ -> Rng.uniform obs_rng) in
+           Dt.observe model x (Rng.normal obs_rng)))
+  in
+  let q = Array.init 5 (fun _ -> 0.5) in
+  let predict_test =
+    Test.make ~name:"dynatree.predict"
+      (Staged.stage (fun () -> ignore (Dt.predict model q)))
+  in
+  let refs =
+    Array.init 100 (fun _ -> Array.init 5 (fun _ -> Rng.uniform obs_rng))
+  in
+  let cands =
+    Array.init 50 (fun _ -> Array.init 5 (fun _ -> Rng.uniform obs_rng))
+  in
+  let alc_test =
+    Test.make ~name:"dynatree.alc(50 cands,100 refs)"
+      (Staged.stage (fun () ->
+           ignore (Dt.alc_scores model ~candidates:cands ~refs)))
+  in
+  (* The paper's Section 3.2 argument made measurable: a dynamic-tree
+     update is incremental while a GP update refactorizes the kernel
+     matrix (O(n^3)); compare both at 200 accumulated observations. *)
+  let module Gp = Altune_gp.Gp in
+  let gp = Gp.create ~dim:5 () in
+  let gp_rng = Rng.create ~seed:9 in
+  for _ = 1 to 200 do
+    let x = Array.init 5 (fun _ -> Rng.uniform gp_rng) in
+    Gp.observe gp x (Rng.normal gp_rng)
+  done;
+  ignore (Gp.predict gp (Array.make 5 0.5));
+  let gp_update_test =
+    Test.make ~name:"gp.observe+refit(n=200)"
+      (Staged.stage (fun () ->
+           let x = Array.init 5 (fun _ -> Rng.uniform gp_rng) in
+           Gp.observe gp x (Rng.normal gp_rng);
+           ignore (Gp.predict gp x)))
+  in
+  let gp_predict_test =
+    Test.make ~name:"gp.predict(n=200)"
+      (Staged.stage (fun () -> ignore (Gp.predict gp (Array.make 5 0.3))))
+  in
+  [
+    rng_test;
+    parse_test;
+    transform_test;
+    machine_test;
+    spapt_test;
+    observe_test;
+    predict_test;
+    alc_test;
+    gp_update_test;
+    gp_predict_test;
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 500) ()
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let tests = micro_tests () in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-34s %16s\n%s\n" "micro-benchmark" "ns/run"
+       (String.make 52 '-'));
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false
+          ~predictors:[| Measure.run |]
+      in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              Buffer.add_string buf (Printf.sprintf "%-34s %16.1f\n" name est)
+          | Some _ | None ->
+              Buffer.add_string buf (Printf.sprintf "%-34s %16s\n" name "?"))
+        results)
+    tests;
+  Buffer.contents buf
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let scale =
+    let rec find = function
+      | "--scale" :: label :: _ -> (
+          match Scale.of_label label with
+          | Some s -> s
+          | None ->
+              Printf.eprintf "unknown scale %s\n" label;
+              exit 2)
+      | _ :: rest -> find rest
+      | [] -> Scale.quick
+    in
+    find args
+  in
+  let wanted name =
+    let named =
+      List.filter
+        (fun a ->
+          List.mem a
+            [ "table1"; "table2"; "fig1"; "fig2"; "fig5"; "fig6";
+              "ablation"; "micro" ])
+        (List.tl args)
+    in
+    named = [] || List.mem name named
+  in
+  let seed = 42 in
+  Printf.printf
+    "altune benchmark harness — reproducing every table and figure of\n\
+     'Minimizing the Cost of Iterative Compilation with Active Learning'\n\
+     (CGO 2017) at scale=%s, seed=%d.  Costs are simulated seconds; the\n\
+     shapes, not the absolute numbers, are the reproduction target.\n\n%!"
+    scale.Scale.label seed;
+  if wanted "fig1" then
+    section "Figure 1 (mm unroll plane: MAE and optimal samples)" (fun () ->
+        Drivers.fig1 ~scale ~seed ());
+  if wanted "fig2" then
+    section "Figure 2 (adi runtime vs unroll factor)" (fun () ->
+        Drivers.fig2 ~scale ~seed ());
+  if wanted "table2" then
+    section "Table 2 (noise spread across each space)" (fun () ->
+        Drivers.table2 ~scale ~seed ());
+  if wanted "table1" then
+    section "Table 1 (lowest common error, cost, speed-up)" (fun () ->
+        Drivers.table1 ~scale ~seed ());
+  if wanted "fig5" then
+    section "Figure 5 (profiling-cost reduction)" (fun () ->
+        Drivers.fig5 ~scale ~seed ());
+  if wanted "fig6" then
+    section "Figure 6 (error vs cost for three sampling plans)" (fun () ->
+        Drivers.fig6 ~scale ~seed ());
+  if wanted "ablation" then
+    section "Ablation (design choices of the adaptive learner)" (fun () ->
+        Drivers.ablation ~scale ~seed ());
+  if wanted "micro" then
+    section "Micro-benchmarks (Bechamel)" (fun () -> run_micro ())

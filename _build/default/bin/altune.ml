@@ -1,0 +1,251 @@
+(* Command-line interface to the reproduction: regenerate each table and
+   figure of the paper, inspect benchmarks, or autotune one kernel. *)
+
+module Spapt = Altune_spapt.Spapt
+module Kernels = Altune_spapt.Kernels
+module Pretty = Altune_kernellang.Pretty
+module Drivers = Altune_experiments.Drivers
+module Scale = Altune_experiments.Scale
+module Adapter = Altune_experiments.Adapter
+module Runs = Altune_experiments.Runs
+module Learner = Altune_core.Learner
+module Rng = Altune_prng.Rng
+open Cmdliner
+
+let scale_arg =
+  let parse s =
+    match Scale.of_label s with
+    | Some sc -> Ok sc
+    | None -> Error (`Msg (Printf.sprintf "unknown scale %S" s))
+  in
+  let print ppf (s : Scale.t) = Format.pp_print_string ppf s.label in
+  Arg.conv (parse, print)
+
+let scale_term =
+  Arg.(
+    value
+    & opt scale_arg Scale.quick
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:
+          "Experiment scale: $(b,quick) (minutes), $(b,standard) (hours), \
+           or $(b,paper) (the paper's full parameters).")
+
+let seed_term =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Master random seed.")
+
+let benchmarks_term =
+  Arg.(
+    value
+    & opt (some (list string)) None
+    & info [ "benchmarks" ] ~docv:"NAMES"
+        ~doc:"Comma-separated benchmark subset (default: all 11).")
+
+let bench_term ~default =
+  Arg.(
+    value & opt string default
+    & info [ "bench" ] ~docv:"NAME" ~doc:"Benchmark name.")
+
+let check_benchmarks = function
+  | None -> ()
+  | Some names ->
+      List.iter
+        (fun n ->
+          if not (List.mem n Kernels.names) then begin
+            Printf.eprintf "unknown benchmark %S; known: %s\n" n
+              (String.concat ", " Kernels.names);
+            exit 2
+          end)
+        names
+
+let simple_cmd name ~doc f =
+  let term =
+    Term.(
+      const (fun scale seed benchmarks ->
+          check_benchmarks benchmarks;
+          print_string (f ?benchmarks ~scale ~seed ());
+          print_newline ())
+      $ scale_term $ seed_term $ benchmarks_term)
+  in
+  Cmd.v (Cmd.info name ~doc) term
+
+let nobench_cmd name ~doc f =
+  let term =
+    Term.(
+      const (fun scale seed ->
+          print_string (f ~scale ~seed ());
+          print_newline ())
+      $ scale_term $ seed_term)
+  in
+  Cmd.v (Cmd.info name ~doc) term
+
+let table1_cmd =
+  simple_cmd "table1" ~doc:"Lowest common RMSE, cost, and speed-up (Table 1)."
+    Drivers.table1
+
+let table2_cmd =
+  simple_cmd "table2"
+    ~doc:"Variance and CI/mean spreads across each space (Table 2)."
+    Drivers.table2
+
+let fig1_cmd =
+  nobench_cmd "fig1"
+    ~doc:"MAE and optimal sample count over the mm unroll plane (Figure 1)."
+    Drivers.fig1
+
+let fig2_cmd =
+  nobench_cmd "fig2"
+    ~doc:"adi runtime vs. unroll factor, single samples (Figure 2)."
+    Drivers.fig2
+
+let fig5_cmd =
+  simple_cmd "fig5" ~doc:"Profiling-cost reduction bars (Figure 5)."
+    Drivers.fig5
+
+let fig6_cmd =
+  simple_cmd "fig6"
+    ~doc:"RMSE-vs-cost curves for the three sampling plans (Figure 6)."
+    Drivers.fig6
+
+let ablation_cmd =
+  let term =
+    Term.(
+      const (fun scale seed bench ->
+          print_string (Drivers.ablation ~bench ~scale ~seed ());
+          print_newline ())
+      $ scale_term $ seed_term $ bench_term ~default:"gemver")
+  in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:"Design-choice ablations of the adaptive learner.")
+    term
+
+let list_cmd =
+  let term =
+    Term.(
+      const (fun () ->
+          List.iter
+            (fun name ->
+              let b = Spapt.create name in
+              Printf.printf "%-12s dim=%d space=%.2e knobs=%s\n" name
+                (Spapt.dim b) (Spapt.space_size b)
+                (String.concat ","
+                   (List.map Spapt.knob_name (Spapt.knobs b))))
+            Kernels.names)
+      $ const ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and their tunable spaces.") term
+
+let show_cmd =
+  let config_term =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "config" ] ~docv:"INTS"
+          ~doc:"Configuration to apply before printing (comma-separated).")
+  in
+  let raw_term =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:"Print the transformed kernel without constant folding.")
+  in
+  let term =
+    Term.(
+      const (fun bench config raw ->
+          let b = Spapt.create bench in
+          let kernel =
+            match config with
+            | None -> Spapt.kernel b
+            | Some c -> Spapt.transformed b (Array.of_list c)
+          in
+          let kernel =
+            if raw then kernel
+            else Altune_kernellang.Simplify.kernel kernel
+          in
+          print_string (Pretty.to_string kernel))
+      $ bench_term ~default:"mm" $ config_term $ raw_term)
+  in
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:"Print a benchmark kernel, optionally after transformations.")
+    term
+
+let tune_cmd =
+  let term =
+    Term.(
+      const (fun scale seed bench ->
+          let b = Spapt.create bench in
+          let problem = Adapter.problem_of b in
+          let dataset = Runs.dataset_for b scale ~seed in
+          let outcome =
+            Learner.run problem dataset scale.Scale.adaptive
+              ~rng:(Rng.create ~seed)
+          in
+          Printf.printf
+            "trained on %d configurations (%d runs, %.0f simulated s); \
+             final RMSE %.4f s\n"
+            outcome.distinct_examples outcome.total_runs outcome.total_cost
+            outcome.final_rmse;
+          (* Search the model for the best predicted configuration with
+             both random sampling and hill climbing; keep the better. *)
+          let module Search = Altune_core.Search in
+          let space =
+            Search.space_of_cardinalities
+              (Array.of_list
+                 (List.map Spapt.knob_cardinality (Spapt.knobs b)))
+          in
+          let rng = Rng.create ~seed:(seed + 1) in
+          let sampled =
+            Search.minimize ~rng space ~predict:outcome.predict
+              (Search.Random_sampling 20_000)
+          in
+          let climbed =
+            Search.minimize ~rng space ~predict:outcome.predict
+              (Search.Hill_climbing { restarts = 10; max_steps = 60 })
+          in
+          let best =
+            if climbed.predicted < sampled.predicted then climbed else sampled
+          in
+          let default = Array.make (Spapt.dim b) 0 in
+          Printf.printf "default config : true runtime %.4f s\n"
+            (Spapt.true_runtime b default);
+          Printf.printf
+            "best predicted : [%s] predicted %.4f s, true %.4f s (%d model \
+             queries)\n"
+            (String.concat ";"
+               (List.map string_of_int (Array.to_list best.best)))
+            best.predicted
+            (Spapt.true_runtime b best.best)
+            (sampled.evaluations + climbed.evaluations))
+      $ scale_term $ seed_term $ bench_term ~default:"mm")
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Train an adaptive model on a benchmark and report the best \
+          configuration it finds.")
+    term
+
+let () =
+  let doc =
+    "Reproduction of 'Minimizing the Cost of Iterative Compilation with \
+     Active Learning' (CGO 2017)."
+  in
+  let info = Cmd.info "altune" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            table1_cmd;
+            table2_cmd;
+            fig1_cmd;
+            fig2_cmd;
+            fig5_cmd;
+            fig6_cmd;
+            ablation_cmd;
+            list_cmd;
+            show_cmd;
+            tune_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/compare_plans.ml: Altune_core Altune_experiments Altune_report Altune_spapt List Printf

@@ -1,0 +1,1 @@
+examples/native_tune.ml: Altune_core Altune_kernellang Altune_prng Altune_spapt Array Hashtbl List Printf String Unix

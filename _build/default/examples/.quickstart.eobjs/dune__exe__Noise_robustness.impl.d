@@ -1,0 +1,1 @@
+examples/noise_robustness.ml: Altune_core Altune_experiments Altune_prng Altune_report Altune_spapt Float List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Altune_core Altune_experiments Altune_prng Altune_spapt Array List Printf String

@@ -1,0 +1,1 @@
+examples/tune_mm.ml: Altune_core Altune_experiments Altune_prng Altune_report Altune_spapt Array List Printf String

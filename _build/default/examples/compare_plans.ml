@@ -1,0 +1,40 @@
+(* Compare the three sampling plans of the paper on one benchmark: the
+   classical 35-observation plan, the naive single-observation plan, and
+   the adaptive sequential-analysis plan.  A miniature of Figure 6.
+
+   Run with: dune exec examples/compare_plans.exe *)
+
+module Spapt = Altune_spapt.Spapt
+module Runs = Altune_experiments.Runs
+module Scale = Altune_experiments.Scale
+module Experiment = Altune_core.Experiment
+module Learner = Altune_core.Learner
+module Report = Altune_report.Report
+
+let () =
+  let bench = Spapt.create "gemver" in
+  Printf.printf "running the three sampling plans on %s (this takes a \
+                 minute)...\n\n" (Spapt.name bench);
+  let pc = Runs.curves_for bench Scale.quick ~seed:3 in
+  let points curve =
+    List.map
+      (fun (p : Learner.eval_point) -> (p.cost_seconds, p.rmse))
+      curve
+  in
+  print_string
+    (Report.Plot.line ~logx:true
+       ~title:"gemver: model error vs profiling cost"
+       ~xlabel:"cumulative profiling cost (simulated s)" ~ylabel:"RMSE (s)"
+       [
+         ("all observations (35 per example)", points pc.all_observations);
+         ("one observation per example", points pc.one_observation);
+         ("variable observations (adaptive)", points pc.variable_observations);
+       ]);
+  let cmp =
+    Experiment.compare_curves ~baseline:pc.all_observations
+      ~ours:pc.variable_observations
+  in
+  Printf.printf
+    "\nlowest common RMSE %.4f s: baseline needs %.0f simulated s, the \
+     adaptive plan %.0f s -> %.1fx less profiling\n"
+    cmp.lowest_common_rmse cmp.cost_baseline cmp.cost_ours cmp.speedup

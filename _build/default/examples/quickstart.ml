@@ -1,0 +1,46 @@
+(* Quickstart: build a runtime model for one kernel with the adaptive
+   active learner and query it.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Spapt = Altune_spapt.Spapt
+module Adapter = Altune_experiments.Adapter
+module Dataset = Altune_core.Dataset
+module Learner = Altune_core.Learner
+module Rng = Altune_prng.Rng
+
+let () =
+  let rng = Rng.create ~seed:7 in
+
+  (* 1. Pick a benchmark: mvt, the matrix-vector transpose kernel. *)
+  let bench = Spapt.create "mvt" in
+  Printf.printf "benchmark %s: %d tunable knobs, %.2e configurations\n"
+    (Spapt.name bench) (Spapt.dim bench) (Spapt.space_size bench);
+
+  (* 2. Wrap it as an abstract tuning problem and draw a train/test pool. *)
+  let problem = Adapter.problem_of bench in
+  let dataset =
+    Dataset.generate problem ~rng ~n_configs:600 ~test_fraction:0.25
+      ~n_obs:35
+  in
+
+  (* 3. Train with the paper's adaptive plan: one profiling run at a time,
+     revisiting a configuration only when its measurements contradict the
+     model. *)
+  let settings = { Learner.scaled_settings with n_max = 150 } in
+  let outcome = Learner.run problem dataset settings ~rng in
+  Printf.printf
+    "trained: %d distinct configurations, %d profiling runs, %.0f simulated \
+     seconds of profiling, final RMSE %.4f s\n\n"
+    outcome.distinct_examples outcome.total_runs outcome.total_cost
+    outcome.final_rmse;
+
+  (* 4. Query the model: predicted vs. true runtime on a few random
+     configurations. *)
+  Printf.printf "%-28s %12s %12s\n" "configuration" "predicted(s)" "true(s)";
+  for _ = 1 to 8 do
+    let c = Spapt.random_config bench rng in
+    Printf.printf "%-28s %12.4f %12.4f\n"
+      (String.concat ";" (List.map string_of_int (Array.to_list c)))
+      (outcome.predict c) (Spapt.true_runtime bench c)
+  done

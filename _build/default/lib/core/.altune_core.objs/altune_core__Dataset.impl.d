@@ -1,0 +1,1 @@
+lib/core/dataset.ml: Altune_prng Array Float Hashtbl Printf Problem

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Altune_prng Array Float Learner List

@@ -1,0 +1,1 @@
+lib/core/learner.ml: Altune_prng Altune_stats Array Cost Dataset Float Hashtbl List Problem Surrogate

@@ -1,0 +1,1 @@
+lib/core/learner.mli: Altune_prng Dataset Problem Surrogate

@@ -1,0 +1,1 @@
+lib/core/problem.ml: Altune_prng Array List String

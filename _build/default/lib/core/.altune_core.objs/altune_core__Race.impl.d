@@ -1,0 +1,1 @@
+lib/core/race.ml: Altune_stats Array

@@ -1,0 +1,1 @@
+lib/core/search.ml: Altune_prng Array List

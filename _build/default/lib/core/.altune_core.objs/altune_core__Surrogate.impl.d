@@ -1,0 +1,1 @@
+lib/core/surrogate.ml: Altune_dynatree Altune_prng Float

@@ -1,0 +1,1 @@
+lib/core/surrogate.mli: Altune_prng

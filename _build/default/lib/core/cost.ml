@@ -1,0 +1,31 @@
+type t = {
+  mutable run_seconds : float;
+  mutable compile_seconds : float;
+  mutable runs : int;
+  compiled : (string, unit) Hashtbl.t;
+}
+
+let create () =
+  {
+    run_seconds = 0.0;
+    compile_seconds = 0.0;
+    runs = 0;
+    compiled = Hashtbl.create 256;
+  }
+
+let charge_run t seconds =
+  if seconds < 0.0 then invalid_arg "Cost.charge_run: negative duration";
+  t.run_seconds <- t.run_seconds +. seconds;
+  t.runs <- t.runs + 1
+
+let charge_compile t ~key seconds =
+  if not (Hashtbl.mem t.compiled key) then begin
+    Hashtbl.replace t.compiled key ();
+    t.compile_seconds <- t.compile_seconds +. seconds
+  end
+
+let run_seconds t = t.run_seconds
+let compile_seconds t = t.compile_seconds
+let total_seconds t = t.run_seconds +. t.compile_seconds
+let runs t = t.runs
+let compiles t = Hashtbl.length t.compiled

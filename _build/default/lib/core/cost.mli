@@ -1,0 +1,22 @@
+(** Training-cost accounting.
+
+    The paper measures training cost as "the cumulative compilation and
+    runtimes of any executables used in training" (Section 4.3): every
+    profiling run is charged at its measured duration, and every distinct
+    configuration's compilation is charged once (binaries are cached). *)
+
+type t
+
+val create : unit -> t
+
+val charge_run : t -> float -> unit
+(** Charge one profiling run of the given duration (seconds). *)
+
+val charge_compile : t -> key:string -> float -> unit
+(** Charge a compilation unless [key] was already compiled. *)
+
+val run_seconds : t -> float
+val compile_seconds : t -> float
+val total_seconds : t -> float
+val runs : t -> int
+val compiles : t -> int

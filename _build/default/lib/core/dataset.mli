@@ -1,0 +1,27 @@
+(** Train/test pools (the paper's Section 4.5 setup).
+
+    The paper profiles 10,000 distinct random configurations per benchmark,
+    records each one's mean runtime over 35 executions, and splits 7,500
+    for training and 2,500 for testing.  Here the training pool carries
+    configurations only (training measurements are drawn live from the
+    problem's measurement procedure — statistically the same thing), while
+    the held-out test set carries observed mean runtimes, which is what
+    model error is computed against. *)
+
+type t = {
+  train_configs : Problem.config array;
+  test_configs : Problem.config array;
+  test_means : float array;
+      (** Mean of [n_obs] measurements per test configuration. *)
+}
+
+val generate :
+  Problem.t ->
+  rng:Altune_prng.Rng.t ->
+  n_configs:int ->
+  test_fraction:float ->
+  n_obs:int ->
+  t
+(** Distinct random configurations, split and labelled.  Raises
+    [Invalid_argument] when the space is too small for [n_configs] (after
+    a bounded number of rejection-sampling attempts). *)

@@ -1,0 +1,39 @@
+(** Multi-repetition experiment machinery: averaged error-vs-cost curves
+    and the paper's Table 1 comparison (time for two methods to first reach
+    their lowest common error). *)
+
+type curve = Learner.eval_point list
+
+val average_curves : curve list -> curve
+(** Pointwise average of repetitions (matched by position, as all
+    repetitions share the evaluation schedule); costs and errors are both
+    averaged, as in the paper's 10-run averages. *)
+
+val repeat :
+  Problem.t ->
+  Dataset.t ->
+  Learner.settings ->
+  seeds:int list ->
+  (int -> Learner.outcome) option ->
+  curve
+(** [repeat problem dataset settings ~seeds hook] runs one training per
+    seed and averages the curves.  [hook], when provided, replaces the
+    runner (used by tests); otherwise {!Learner.run} is used with an rng
+    seeded by each seed. *)
+
+val cost_to_reach : curve -> float -> float option
+(** [cost_to_reach curve err] is the cumulative cost at the first recorded
+    point whose RMSE is [<= err]. *)
+
+val min_rmse : curve -> float
+
+type comparison = {
+  lowest_common_rmse : float;
+  cost_baseline : float;
+  cost_ours : float;
+  speedup : float;  (** [cost_baseline /. cost_ours]. *)
+}
+
+val compare_curves : baseline:curve -> ours:curve -> comparison
+(** The paper's Table 1 metric: the lowest error level both methods
+    eventually reach, and each method's cost to first reach it. *)

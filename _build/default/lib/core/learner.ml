@@ -1,0 +1,356 @@
+module Rng = Altune_prng.Rng
+module Metrics = Altune_stats.Metrics
+module Welford = Altune_stats.Welford
+
+type plan = Fixed of int | Adaptive of { max_obs : int }
+type strategy = Alc | Mackay | Random_selection
+type stop_criterion = Cost_budget of float | Error_below of float
+
+type settings = {
+  n_init : int;
+  n_obs_init : int;
+  n_candidates : int;
+  n_max : int;
+  plan : plan;
+  strategy : strategy;
+  model : Surrogate.factory;
+  eval_every : int;
+  ref_size : int;
+  empirical_prior : bool;
+  revisit_threshold : float;
+  batch_size : int;
+  stop : stop_criterion list;
+}
+
+let paper_settings =
+  {
+    n_init = 5;
+    n_obs_init = 35;
+    n_candidates = 500;
+    n_max = 2500;
+    plan = Adaptive { max_obs = 35 };
+    strategy = Alc;
+    model = Surrogate.dynatree ~particles:5000 ();
+    eval_every = 25;
+    ref_size = 300;
+    empirical_prior = true;
+    revisit_threshold = 2.0;
+    batch_size = 1;
+    stop = [];
+  }
+
+let scaled_settings =
+  {
+    n_init = 5;
+    n_obs_init = 35;
+    n_candidates = 60;
+    n_max = 400;
+    plan = Adaptive { max_obs = 35 };
+    strategy = Alc;
+    model = Surrogate.dynatree ~particles:120 ();
+    eval_every = 10;
+    ref_size = 150;
+    empirical_prior = true;
+    revisit_threshold = 2.0;
+    batch_size = 1;
+    stop = [];
+  }
+
+type eval_point = {
+  iteration : int;
+  examples : int;
+  observations : int;
+  cost_seconds : float;
+  rmse : float;
+}
+
+type outcome = {
+  curve : eval_point list;
+  total_cost : float;
+  total_runs : int;
+  distinct_examples : int;
+  final_rmse : float;
+  predict : Problem.config -> float;
+}
+
+let validate settings =
+  if settings.n_init < 1 then invalid_arg "Learner: n_init < 1";
+  if settings.n_obs_init < 1 then invalid_arg "Learner: n_obs_init < 1";
+  if settings.n_candidates < 1 then invalid_arg "Learner: n_candidates < 1";
+  if settings.n_max < settings.n_init then
+    invalid_arg "Learner: n_max < n_init";
+  if settings.eval_every < 1 then invalid_arg "Learner: eval_every < 1";
+  if settings.batch_size < 1 then invalid_arg "Learner: batch_size < 1";
+  (match settings.plan with
+  | Fixed n when n < 1 -> invalid_arg "Learner: Fixed plan needs n >= 1"
+  | Adaptive { max_obs } when max_obs < 1 ->
+      invalid_arg "Learner: Adaptive plan needs max_obs >= 1"
+  | Fixed _ | Adaptive _ -> ())
+
+(* Response standardization: the dynamic tree's leaf prior is calibrated
+   for roughly unit-scale responses, while runtimes live on arbitrary
+   scales.  The affine map is frozen after the seed phase (as the paper
+   freezes its feature normalization). *)
+type scaler = { mutable mean : float; mutable std : float }
+
+let standardize scaler y = (y -. scaler.mean) /. scaler.std
+let unstandardize scaler z = (z *. scaler.std) +. scaler.mean
+
+let run (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
+  validate settings;
+  let rng = Rng.split rng in
+  let cost = Cost.create () in
+  let run_counter = ref 0 in
+  let measure config =
+    incr run_counter;
+    Cost.charge_compile cost ~key:(Problem.key config)
+      (problem.compile_seconds config);
+    let d = problem.measure ~rng ~run_index:!run_counter config in
+    Cost.charge_run cost d;
+    d
+  in
+  let pool = dataset.train_configs in
+  if Array.length pool = 0 then invalid_arg "Learner.run: empty train pool";
+  (* Per visited configuration: observation count and running sum (the
+     observed mean drives revisit eligibility); doubles as the visited
+     set. *)
+  let obs_count : (string, int * float * Problem.config) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let seen key = Hashtbl.mem obs_count key in
+  let note_obs config n sum =
+    let key = Problem.key config in
+    let prev_n, prev_sum =
+      match Hashtbl.find_opt obs_count key with
+      | Some (c, s, _) -> (c, s)
+      | None -> (0, 0.0)
+    in
+    Hashtbl.replace obs_count key (prev_n + n, prev_sum +. sum, config)
+  in
+  let sample_unseen n =
+    (* Rejection sampling from the pool; the pool is much larger than the
+       visited set in any realistic run, but guard against exhaustion. *)
+    let out = ref [] in
+    let found = ref 0 in
+    let attempts = ref 0 in
+    let max_attempts = 60 * n in
+    let batch_seen = Hashtbl.create (2 * n) in
+    while !found < n && !attempts < max_attempts do
+      incr attempts;
+      let c = pool.(Rng.int rng (Array.length pool)) in
+      let k = Problem.key c in
+      if (not (seen k)) && not (Hashtbl.mem batch_seen k) then begin
+        Hashtbl.replace batch_seen k ();
+        out := c :: !out;
+        incr found
+      end
+    done;
+    !out
+  in
+  let scaler = { mean = 0.0; std = 1.0 } in
+  (* Reference set for ALC: a fixed random subset of the training pool,
+     embedded once. *)
+  let refs =
+    Array.init (min settings.ref_size (Array.length pool)) (fun _ ->
+        problem.features (pool.(Rng.int rng (Array.length pool))))
+  in
+  (* --- Seed phase --- *)
+  let seed_configs = sample_unseen settings.n_init in
+  let seed_welford = ref Welford.empty in
+  let seed_data =
+    List.map
+      (fun config ->
+        let per_example =
+          match settings.plan with
+          | Fixed n -> n
+          | Adaptive _ -> settings.n_obs_init
+        in
+        let samples = List.init per_example (fun _ -> measure config) in
+        List.iter (fun y -> seed_welford := Welford.add !seed_welford y)
+          samples;
+        note_obs config per_example (List.fold_left ( +. ) 0.0 samples);
+        (config, samples))
+      seed_configs
+  in
+  scaler.mean <- Welford.mean !seed_welford;
+  scaler.std <-
+    (let s = Welford.std !seed_welford in
+     if s > 0.0 && Float.is_finite s then s else 1.0);
+  (* Noise hint for the surrogate's empirical prior: the mean
+     within-configuration variance seen during seeding, in standardized
+     units.  Without this calibration a default noise prior dwarfs the
+     true measurement noise on quiet benchmarks and the learner
+     over-revisits: expected variance reductions then reflect the prior,
+     not the data. *)
+  let noise_hint =
+    if not settings.empirical_prior then None
+    else
+      Some
+        (List.fold_left
+           (fun acc (_, samples) ->
+             acc
+             +. Welford.variance (Welford.of_array (Array.of_list samples)))
+           0.0 seed_data
+        /. float_of_int (max 1 (List.length seed_data))
+        /. (scaler.std *. scaler.std))
+  in
+  let model = settings.model ~noise_hint ~rng ~dim:problem.dim in
+  let observe_raw config y =
+    Surrogate.observe model (problem.features config) (standardize scaler y)
+  in
+  (* Seed examples enter the model as their mean: the seed phase's many
+     observations exist to give the learner an accurate first look, and a
+     mean is that look.  (Feeding the raw replicates instead makes every
+     particle spend structure on five x-locations it has seen 35 times.) *)
+  List.iter
+    (fun (config, samples) ->
+      let mean =
+        List.fold_left ( +. ) 0.0 samples
+        /. float_of_int (List.length samples)
+      in
+      observe_raw config mean)
+    seed_data;
+  (* --- Evaluation --- *)
+  let test_features = Array.map problem.features dataset.test_configs in
+  let rmse () =
+    let predicted =
+      Array.map
+        (fun f -> unstandardize scaler (Surrogate.predict model f).mean)
+        test_features
+    in
+    Metrics.rmse ~predicted ~observed:dataset.test_means
+  in
+  let curve = ref [] in
+  let record iteration =
+    curve :=
+      {
+        iteration;
+        examples = Hashtbl.length obs_count;
+        observations = !run_counter;
+        cost_seconds = Cost.total_seconds cost;
+        rmse = rmse ();
+      }
+      :: !curve
+  in
+  record settings.n_init;
+  (* --- Active learning loop --- *)
+  let score_all candidates =
+    match settings.strategy with
+    | Random_selection ->
+        List.map (fun c -> (c, Rng.uniform rng)) candidates
+    | Mackay ->
+        List.map
+          (fun c ->
+            (c, Surrogate.predictive_variance model (problem.features c)))
+          candidates
+    | Alc ->
+        let arr = Array.of_list candidates in
+        let scores =
+          Surrogate.alc_scores model
+            ~candidates:(Array.map problem.features arr)
+            ~refs
+        in
+        Array.to_list (Array.mapi (fun i c -> (c, scores.(i))) arr)
+  in
+  (* Top-[k] candidates by score, stable on ties so fresh candidates (which
+     precede revisits in the list) win them. *)
+  let select_batch k candidates =
+    match candidates with
+    | [] -> []
+    | _ ->
+        let scored = score_all candidates in
+        let sorted =
+          List.stable_sort (fun (_, a) (_, b) -> Float.compare b a) scored
+        in
+        List.filteri (fun i _ -> i < k) (List.map fst sorted)
+  in
+  let should_stop iteration =
+    iteration >= settings.n_max
+    || List.exists
+         (fun criterion ->
+           match criterion with
+           | Cost_budget budget -> Cost.total_seconds cost >= budget
+           | Error_below target -> (
+               match !curve with
+               | [] -> false
+               | last :: _ -> last.rmse <= target))
+         settings.stop
+  in
+  let iteration = ref settings.n_init in
+  let stopped = ref (should_stop !iteration) in
+  while not !stopped do
+    let fresh = sample_unseen settings.n_candidates in
+    let revisits =
+      (* A visited configuration re-enters the candidate set only while it
+         is of continued interest: under the observation cap AND with an
+         observed mean that sticks out from the model's local pattern.
+         This is the paper's criterion -- extra runs are worth their cost
+         only when they are likely to contradict what the model
+         predicts. *)
+      match settings.plan with
+      | Fixed _ -> []
+      | Adaptive { max_obs } ->
+          Hashtbl.fold
+            (fun _ (count, sum, config) acc ->
+              if count >= max_obs then acc
+              else begin
+                let f = problem.features config in
+                let p = Surrogate.predict model f in
+                let observed_mean =
+                  standardize scaler (sum /. float_of_int count)
+                in
+                let sd = sqrt (Float.max 1e-12 p.variance) in
+                if
+                  Float.abs (observed_mean -. p.mean)
+                  > settings.revisit_threshold *. sd
+                then config :: acc
+                else acc
+              end)
+            obs_count []
+    in
+    let batch =
+      let remaining = settings.n_max - !iteration in
+      select_batch (min settings.batch_size remaining) (fresh @ revisits)
+    in
+    if batch = [] then stopped := true
+    else begin
+      List.iter
+        (fun config ->
+          incr iteration;
+          (match settings.plan with
+          | Fixed n ->
+              let samples = List.init n (fun _ -> measure config) in
+              let sum = List.fold_left ( +. ) 0.0 samples in
+              note_obs config n sum;
+              observe_raw config (sum /. float_of_int n)
+          | Adaptive _ ->
+              let y = measure config in
+              note_obs config 1 y;
+              observe_raw config y);
+          if
+            !iteration mod settings.eval_every = 0
+            || !iteration = settings.n_max
+          then record !iteration)
+        batch;
+      stopped := should_stop !iteration
+    end
+  done;
+  (* Runs cut short by a stop criterion still end with a recorded point. *)
+  (match !curve with
+  | last :: _ when last.iteration = !iteration -> ()
+  | _ -> record !iteration);
+  let curve = List.rev !curve in
+  let final_rmse =
+    match List.rev curve with [] -> nan | last :: _ -> last.rmse
+  in
+  {
+    curve;
+    total_cost = Cost.total_seconds cost;
+    total_runs = Cost.runs cost;
+    distinct_examples = Hashtbl.length obs_count;
+    final_rmse;
+    predict =
+      (fun config ->
+        unstandardize scaler
+          (Surrogate.predict model (problem.features config)).mean);
+  }

@@ -1,0 +1,91 @@
+(** The paper's active learning loop (Algorithm 1), generalized over
+    sampling plan and selection strategy.
+
+    Three sampling plans reproduce the paper's three competitors:
+    - [Fixed n] — the classical plan: each selected training example is
+      profiled [n] times and its mean becomes one model observation;
+      candidates are always unseen ([n = 35] is the baseline of
+      Balaprakash et al., [n = 1] the "one observation" variant);
+    - [Adaptive] — the paper's contribution: one profiling run per loop
+      iteration, with previously-visited configurations kept in the
+      candidate set until they accumulate [max_obs] observations, so the
+      learner itself decides when a noisy configuration deserves another
+      sample (sequential analysis).
+
+    Selection strategies: [Alc] (Cohn's expected reduction of average
+    predictive variance — the paper's choice), [Mackay] (maximum
+    predictive variance), and [Random_selection] (ablation). *)
+
+type plan = Fixed of int | Adaptive of { max_obs : int }
+
+type strategy = Alc | Mackay | Random_selection
+
+type stop_criterion =
+  | Cost_budget of float
+      (** Stop once cumulative compile+run cost exceeds this many seconds
+          (the paper's "wall-clock time" completion criterion). *)
+  | Error_below of float
+      (** Stop once the recorded RMSE on the held-out evaluation set drops
+          to this level (the paper's "estimate of error in the final
+          model" criterion; note it peeks at the evaluation set, so use it
+          for budgeting experiments, not for reporting accuracy). *)
+
+type settings = {
+  n_init : int;  (** Seed examples (paper: 5). *)
+  n_obs_init : int;  (** Observations per seed example (paper: 35). *)
+  n_candidates : int;  (** Fresh candidates per iteration (paper: 500). *)
+  n_max : int;  (** Total loop iterations (paper: 2,500). *)
+  plan : plan;
+  strategy : strategy;
+  model : Surrogate.factory;
+  eval_every : int;  (** Record an error point every this many iterations. *)
+  ref_size : int;  (** Reference-set size for ALC. *)
+  empirical_prior : bool;
+      (** Centre the leaf prior's noise scale on the within-configuration
+          variance observed during seeding (on by default).  The seed
+          phase exists to give the learner "a quick and accurate look at
+          the search space"; without this calibration the revisit payoff
+          reflects the prior instead of the measured noise. *)
+  revisit_threshold : float;
+      (** A visited configuration stays in the candidate set only while its
+          observed mean deviates from the model's prediction by more than
+          this many predictive standard deviations — the paper's "likely to
+          contradict what we predict" criterion (default 2.0). *)
+  batch_size : int;
+      (** Training examples selected per loop iteration.  1 is the paper's
+          sequential algorithm; larger values model the parallel variant
+          it mentions (select the top-k scoring candidates, profile them
+          together). *)
+  stop : stop_criterion list;
+      (** Additional completion criteria checked alongside [n_max]. *)
+}
+
+val paper_settings : settings
+(** The paper's parameters: ninit 5, nobs 35, nc 500, nmax 2,500, 5,000
+    particles, adaptive plan with ALC.  Expensive. *)
+
+val scaled_settings : settings
+(** Laptop-scale defaults used by the bench harness: same structure, nmax
+    400, nc 60, 120 particles. *)
+
+type eval_point = {
+  iteration : int;  (** Loop iterations completed. *)
+  examples : int;  (** Distinct configurations profiled. *)
+  observations : int;  (** Total profiling runs. *)
+  cost_seconds : float;  (** Cumulative compile + run cost so far. *)
+  rmse : float;  (** Error on the held-out test set, seconds. *)
+}
+
+type outcome = {
+  curve : eval_point list;  (** Chronological. *)
+  total_cost : float;
+  total_runs : int;
+  distinct_examples : int;
+  final_rmse : float;
+  predict : Problem.config -> float;
+      (** The trained model, as a runtime predictor in seconds. *)
+}
+
+val run :
+  Problem.t -> Dataset.t -> settings -> rng:Altune_prng.Rng.t -> outcome
+(** One training run.  Deterministic given the rng state. *)

@@ -1,0 +1,14 @@
+type config = int array
+
+type t = {
+  name : string;
+  dim : int;
+  space_size : float;
+  random_config : Altune_prng.Rng.t -> config;
+  features : config -> float array;
+  measure : rng:Altune_prng.Rng.t -> run_index:int -> config -> float;
+  compile_seconds : config -> float;
+}
+
+let key config =
+  String.concat "," (List.map string_of_int (Array.to_list config))

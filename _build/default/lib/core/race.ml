@@ -1,0 +1,97 @@
+module Welford = Altune_stats.Welford
+
+type settings = { level : float; min_obs : int; max_obs : int }
+
+let default_settings = { level = 0.95; min_obs = 2; max_obs = 35 }
+
+type outcome = {
+  winner : int;
+  mean : float;
+  runs_per_candidate : int array;
+  total_runs : int;
+  total_cost : float;
+  eliminated_at : int array;
+}
+
+let select ?(settings = default_settings) ~measure n =
+  if n < 1 then invalid_arg "Race.select: need at least one candidate";
+  if settings.min_obs < 2 then
+    invalid_arg "Race.select: min_obs must be >= 2 (CIs need two samples)";
+  if settings.max_obs < settings.min_obs then
+    invalid_arg "Race.select: max_obs < min_obs";
+  if settings.level <= 0.0 || settings.level >= 1.0 then
+    invalid_arg "Race.select: level out of (0,1)";
+  let stats = Array.make n Welford.empty in
+  let alive = Array.make n true in
+  let eliminated_at = Array.make n (-1) in
+  let total_cost = ref 0.0 in
+  let observe i =
+    let d = measure i in
+    total_cost := !total_cost +. d;
+    stats.(i) <- Welford.add stats.(i) d
+  in
+  for i = 0 to n - 1 do
+    for _ = 1 to settings.min_obs do
+      observe i
+    done
+  done;
+  let round = ref 0 in
+  let continue_ = ref (n > 1) in
+  while !continue_ do
+    incr round;
+    (* The current leader: lowest mean among the living. *)
+    let leader = ref (-1) in
+    Array.iteri
+      (fun i _ ->
+        if alive.(i)
+           && (!leader < 0
+              || Welford.mean stats.(i) < Welford.mean stats.(!leader))
+        then leader := i)
+      alive;
+    let _, leader_hi =
+      Welford.confidence_interval ~level:settings.level stats.(!leader)
+    in
+    (* Eliminate candidates whose whole interval is above the leader's. *)
+    Array.iteri
+      (fun i _ ->
+        if alive.(i) && i <> !leader then begin
+          let lo, _ =
+            Welford.confidence_interval ~level:settings.level stats.(i)
+          in
+          if lo > leader_hi then begin
+            alive.(i) <- false;
+            eliminated_at.(i) <- !round
+          end
+        end)
+      alive;
+    (* Another observation for every survivor that has budget left. *)
+    let sampled = ref false in
+    Array.iteri
+      (fun i a ->
+        if a && Welford.count stats.(i) < settings.max_obs then begin
+          observe i;
+          sampled := true
+        end)
+      alive;
+    let survivors =
+      Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 alive
+    in
+    if survivors <= 1 || not !sampled then continue_ := false
+  done;
+  let winner = ref 0 in
+  Array.iteri
+    (fun i _ ->
+      if
+        alive.(i)
+        && ((not alive.(!winner))
+           || Welford.mean stats.(i) < Welford.mean stats.(!winner))
+      then winner := i)
+    alive;
+  {
+    winner = !winner;
+    mean = Welford.mean stats.(!winner);
+    runs_per_candidate = Array.map Welford.count stats;
+    total_runs = Array.fold_left (fun acc s -> acc + Welford.count s) 0 stats;
+    total_cost = !total_cost;
+    eliminated_at;
+  }

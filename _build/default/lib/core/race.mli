@@ -1,0 +1,37 @@
+(** Raced profiles (Leather, O'Boyle & Worton, LCTES 2009 — the paper's
+    reference [32]): statistically adaptive selection of the fastest of a
+    set of binaries.
+
+    Where this project's main algorithm adapts sample counts while
+    {e learning a model}, raced profiles adapt sample counts while
+    {e selecting a winner}: all candidates are profiled in rounds, and a
+    candidate is eliminated as soon as its confidence interval lies
+    strictly above the current leader's, so effort concentrates on the
+    candidates that are still statistically in contention.  Provided both
+    as a related-work reproduction and as the final-selection utility an
+    autotuner needs once a model has produced a shortlist. *)
+
+type settings = {
+  level : float;  (** Confidence level of the elimination test (0.95). *)
+  min_obs : int;  (** Observations before a candidate may be judged (2). *)
+  max_obs : int;  (** Per-candidate cap (35). *)
+}
+
+val default_settings : settings
+
+type outcome = {
+  winner : int;  (** Index of the selected candidate. *)
+  mean : float;  (** Its estimated mean runtime. *)
+  runs_per_candidate : int array;
+  total_runs : int;
+  total_cost : float;  (** Sum of all measured durations, seconds. *)
+  eliminated_at : int array;
+      (** Round at which each candidate was eliminated; [-1] if it
+          survived to the end. *)
+}
+
+val select :
+  ?settings:settings -> measure:(int -> float) -> int -> outcome
+(** [select ~measure n] races [n] candidates ([measure i] returns one
+    runtime observation of candidate [i]).  Raises [Invalid_argument]
+    when [n < 1] or settings are inconsistent. *)

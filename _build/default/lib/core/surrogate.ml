@@ -1,0 +1,67 @@
+module Dynatree_impl = Altune_dynatree.Dynatree
+module Leaf_model = Altune_dynatree.Leaf_model
+
+type prediction = { mean : float; variance : float }
+
+module type S = sig
+  type t
+
+  val name : string
+  val observe : t -> float array -> float -> unit
+  val predict : t -> float array -> prediction
+
+  val alc_scores :
+    t -> candidates:float array array -> refs:float array array -> float array
+
+  val n_observations : t -> int
+end
+
+type t = Pack : (module S with type t = 'a) * 'a -> t
+
+let observe (Pack ((module M), m)) x y = M.observe m x y
+let predict (Pack ((module M), m)) x = M.predict m x
+let predictive_variance pack x = (predict pack x).variance
+
+let alc_scores (Pack ((module M), m)) ~candidates ~refs =
+  M.alc_scores m ~candidates ~refs
+
+let n_observations (Pack ((module M), m)) = M.n_observations m
+let name (Pack ((module M), _)) = M.name
+
+type factory =
+  noise_hint:float option -> rng:Altune_prng.Rng.t -> dim:int -> t
+
+module Dynatree_surrogate = struct
+  type t = Dynatree_impl.t
+
+  let name = "dynatree"
+  let observe = Dynatree_impl.observe
+
+  let predict m x =
+    let p = Dynatree_impl.predict m x in
+    { mean = p.Dynatree_impl.mean; variance = p.Dynatree_impl.variance }
+
+  let alc_scores = Dynatree_impl.alc_scores
+  let n_observations = Dynatree_impl.n_observations
+end
+
+let dynatree ?(particles = Dynatree_impl.default_params.n_particles) () :
+    factory =
+ fun ~noise_hint ~rng ~dim ->
+  let base = { Dynatree_impl.default_params with n_particles = particles } in
+  let params =
+    match noise_hint with
+    | None -> base
+    | Some within ->
+        (* Centre the leaf prior's inverse-gamma noise scale on the
+           measured within-configuration variance: prior mean of sigma^2
+           is b0 / (a0 - 1). *)
+        let prior = base.tree.prior in
+        let b0 =
+          Float.max 1e-8 (within *. (prior.Leaf_model.a0 -. 1.0))
+        in
+        { base with tree = { base.tree with prior = { prior with b0 } } }
+  in
+  Pack
+    ( (module Dynatree_surrogate),
+      Dynatree_impl.create ~params ~rng dim )

@@ -1,0 +1,1 @@
+lib/dynatree/dynatree.ml: Altune_prng Array Float Hashtbl Leaf_model Option Tree

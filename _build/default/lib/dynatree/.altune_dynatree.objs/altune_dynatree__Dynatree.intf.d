@@ -1,0 +1,1 @@
+lib/dynatree/dynatree.mli: Altune_prng Tree

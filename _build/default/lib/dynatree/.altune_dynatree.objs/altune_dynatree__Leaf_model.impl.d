@@ -1,0 +1,1 @@
+lib/dynatree/leaf_model.ml: Altune_stats Float

@@ -1,0 +1,1 @@
+lib/dynatree/leaf_model.mli:

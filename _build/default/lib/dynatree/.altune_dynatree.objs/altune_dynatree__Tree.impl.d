@@ -1,0 +1,1 @@
+lib/dynatree/tree.ml: Altune_prng Array Float Hashtbl Leaf_model List Option

@@ -1,0 +1,1 @@
+lib/dynatree/tree.mli: Altune_prng Hashtbl Leaf_model

@@ -1,0 +1,159 @@
+module Rng = Altune_prng.Rng
+
+type params = {
+  n_particles : int;
+  tree : Tree.params;
+  resample_threshold : float;
+}
+
+let default_params =
+  { n_particles = 300; tree = Tree.default_params; resample_threshold = 1.0 }
+
+type t = {
+  params : params;
+  rng : Rng.t;
+  store : Tree.store;
+  mutable particles : Tree.t array;
+  mutable weights : float array;  (* normalized *)
+}
+
+let create ?(params = default_params) ~rng dim =
+  if params.n_particles <= 0 then
+    invalid_arg "Dynatree.create: n_particles must be positive";
+  let rng = Rng.split rng in
+  let store = Tree.make_store ~dim in
+  {
+    params;
+    rng;
+    store;
+    particles =
+      Array.init params.n_particles (fun _ ->
+          Tree.singleton params.tree store []);
+    weights =
+      Array.make params.n_particles (1.0 /. float_of_int params.n_particles);
+  }
+
+let n_observations t = Tree.store_size t.store
+
+let effective_sample_size weights =
+  let sumsq = Array.fold_left (fun acc w -> acc +. (w *. w)) 0.0 weights in
+  if sumsq = 0.0 then 0.0 else 1.0 /. sumsq
+
+(* Systematic resampling: one uniform offset, evenly spaced pointers. *)
+let systematic_resample rng particles weights =
+  let n = Array.length particles in
+  let nf = float_of_int n in
+  let out = Array.make n particles.(0) in
+  let u0 = Rng.uniform rng /. nf in
+  let cum = ref weights.(0) in
+  let j = ref 0 in
+  for k = 0 to n - 1 do
+    let target = u0 +. (float_of_int k /. nf) in
+    while !cum < target && !j < n - 1 do
+      incr j;
+      cum := !cum +. weights.(!j)
+    done;
+    out.(k) <- Tree.copy particles.(!j)
+  done;
+  out
+
+let observe t x y =
+  let n = Array.length t.particles in
+  (* Reweight by posterior predictive density at the incoming point. *)
+  let log_w =
+    Array.mapi
+      (fun i p -> log t.weights.(i) +. Tree.log_predictive p x y)
+      t.particles
+  in
+  let m = Array.fold_left Float.max neg_infinity log_w in
+  let w =
+    if Float.is_finite m then Array.map (fun lw -> exp (lw -. m)) log_w
+    else Array.make n 1.0
+  in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let w =
+    if total > 0.0 && Float.is_finite total then
+      Array.map (fun x -> x /. total) w
+    else Array.make n (1.0 /. float_of_int n)
+  in
+  let ess = effective_sample_size w in
+  let particles, weights =
+    if ess < t.params.resample_threshold *. float_of_int n then
+      ( systematic_resample t.rng t.particles w,
+        Array.make n (1.0 /. float_of_int n) )
+    else (t.particles, w)
+  in
+  (* Propagate: insert the observation into every particle. *)
+  let i = Tree.append t.store x y in
+  t.particles <- Array.map (fun p -> Tree.update ~rng:t.rng p i) particles;
+  t.weights <- weights
+
+type prediction = { mean : float; variance : float }
+
+(* Cap for leaves whose Student-t variance is undefined: keeps exploration
+   scores finite and comparable. *)
+let variance_cap = 1e6
+
+let capped_variance (pr : Leaf_model.predictive) =
+  if Float.is_finite pr.variance then Float.min pr.variance variance_cap
+  else variance_cap
+
+let predict t x =
+  let mean = ref 0.0 and second = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      let pr = Tree.predict p x in
+      let v = capped_variance pr in
+      let w = t.weights.(i) in
+      mean := !mean +. (w *. pr.mean);
+      second := !second +. (w *. (v +. (pr.mean *. pr.mean))))
+    t.particles;
+  let mean = !mean in
+  { mean; variance = Float.max 0.0 (!second -. (mean *. mean)) }
+
+let predictive_variance t x = (predict t x).variance
+
+let average_variance t ~refs =
+  if Array.length refs = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. predictive_variance t x) refs;
+    !acc /. float_of_int (Array.length refs)
+  end
+
+let alc_scores t ~candidates ~refs =
+  let nrefs = float_of_int (max 1 (Array.length refs)) in
+  (* Per particle: how many reference points share each leaf. *)
+  let ref_counts = Array.map (fun p -> Tree.leaf_ref_counts p refs) t.particles in
+  Array.map
+    (fun c ->
+      let score = ref 0.0 in
+      Array.iteri
+        (fun i p ->
+          let leaf_id, suff = Tree.leaf_stats_at p c in
+          let count =
+            Option.value ~default:0 (Hashtbl.find_opt ref_counts.(i) leaf_id)
+          in
+          if count > 0 then begin
+            let reduction =
+              Leaf_model.expected_variance_reduction t.params.tree.prior suff
+            in
+            let reduction = Float.min reduction variance_cap in
+            score :=
+              !score +. (t.weights.(i) *. float_of_int count *. reduction)
+          end)
+        t.particles;
+      !score /. nrefs)
+    candidates
+
+let mean_n_leaves t =
+  let total =
+    Array.fold_left (fun acc p -> acc + Tree.n_leaves p) 0 t.particles
+  in
+  float_of_int total /. float_of_int (Array.length t.particles)
+
+let mean_depth t =
+  let total =
+    Array.fold_left (fun acc p -> acc + Tree.depth p) 0 t.particles
+  in
+  float_of_int total /. float_of_int (Array.length t.particles)

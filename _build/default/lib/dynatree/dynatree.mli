@@ -1,0 +1,63 @@
+(** Dynamic-tree regression ensemble (Taddy, Gramacy & Polson), the
+    surrogate model of the paper's active learner.
+
+    A set of [n_particles] trees is maintained by particle learning: on
+    each new observation the particles are resampled in proportion to their
+    posterior predictive density at the observation (systematic
+    resampling), then each propagates by stochastically choosing stay /
+    grow / prune for the leaf the observation lands in.  The model can be
+    queried at any point for a posterior predictive mean and variance —
+    the MacKay active-learning score — and for the ALC (Cohn) score, the
+    expected reduction of average predictive variance over a reference set
+    from one more observation at a candidate point. *)
+
+type params = {
+  n_particles : int;
+  tree : Tree.params;
+  resample_threshold : float;
+      (** Effective-sample-size fraction below which systematic resampling
+          triggers; [1.] resamples every step (classic particle learning). *)
+}
+
+val default_params : params
+(** 300 particles, resampling every step, default tree parameters. *)
+
+type t
+
+val create : ?params:params -> rng:Altune_prng.Rng.t -> int -> t
+(** [create ~rng dim] is an empty model over [dim]-dimensional (normalized)
+    feature vectors.
+    The rng is split internally; the caller's generator is advanced once. *)
+
+val observe : t -> float array -> float -> unit
+(** Add one (x, y) observation and update every particle.  This is the
+    incremental update that makes dynamic trees cheap inside an active
+    learning loop — no model reconstruction. *)
+
+val n_observations : t -> int
+
+type prediction = { mean : float; variance : float }
+
+val predict : t -> float array -> prediction
+(** Mixture posterior predictive across particles: mean of means, and the
+    mixture variance (within-particle plus across-particle spread).
+    Particles whose leaf predictive variance is undefined (too few points)
+    contribute a large-but-finite variance so exploration still works. *)
+
+val predictive_variance : t -> float array -> float
+(** MacKay score: the predictive variance at [x]. *)
+
+val alc_scores :
+  t -> candidates:float array array -> refs:float array array -> float array
+(** Cohn / ALC scores for a batch of candidates: for each candidate, the
+    expected reduction in total predictive variance over [refs] if the
+    candidate were observed once more, averaged over particles.  Higher
+    means more useful.  Batched because the per-particle partition of
+    [refs] is shared across candidates. *)
+
+val average_variance : t -> refs:float array array -> float
+(** Current average predictive variance over a reference set (diagnostic,
+    and the quantity ALC estimates reductions of). *)
+
+val mean_n_leaves : t -> float
+val mean_depth : t -> float

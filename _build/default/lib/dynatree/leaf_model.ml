@@ -1,0 +1,77 @@
+module Special = Altune_stats.Special
+
+type prior = { m0 : float; k0 : float; a0 : float; b0 : float }
+
+let default_prior = { m0 = 0.0; k0 = 0.1; a0 = 2.0; b0 = 0.5 }
+
+type suff = { n : int; sum : float; sumsq : float }
+
+let empty_suff = { n = 0; sum = 0.0; sumsq = 0.0 }
+
+let add_suff s y =
+  { n = s.n + 1; sum = s.sum +. y; sumsq = s.sumsq +. (y *. y) }
+
+let merge_suff a b =
+  { n = a.n + b.n; sum = a.sum +. b.sum; sumsq = a.sumsq +. b.sumsq }
+
+type posterior = { kn : float; mn : float; an : float; bn : float }
+
+let posterior p s =
+  let n = float_of_int s.n in
+  let kn = p.k0 +. n in
+  let mn = ((p.k0 *. p.m0) +. s.sum) /. kn in
+  let an = p.a0 +. (n /. 2.0) in
+  let bn =
+    p.b0
+    +. (0.5 *. (s.sumsq +. (p.k0 *. p.m0 *. p.m0) -. (kn *. mn *. mn)))
+  in
+  (* Numerical floor: bn is mathematically positive but the cancellation
+     above can dip below zero for near-constant data. *)
+  { kn; mn; an; bn = Float.max 1e-12 bn }
+
+let log_marginal p s =
+  if s.n = 0 then 0.0
+  else begin
+    let { kn; an; bn; _ } = posterior p s in
+    let n = float_of_int s.n in
+    Special.log_gamma an -. Special.log_gamma p.a0
+    +. (p.a0 *. log p.b0)
+    -. (an *. log bn)
+    +. (0.5 *. (log p.k0 -. log kn))
+    -. (n /. 2.0 *. log (2.0 *. Float.pi))
+  end
+
+type predictive = { mean : float; variance : float; df : float; scale : float }
+
+let predict p s =
+  let { kn; mn; an; bn } = posterior p s in
+  let df = 2.0 *. an in
+  let scale = sqrt (bn *. (kn +. 1.0) /. (an *. kn)) in
+  let variance =
+    if df > 2.0 then scale *. scale *. df /. (df -. 2.0) else infinity
+  in
+  { mean = mn; variance; df; scale }
+
+let log_predictive_density p s y =
+  let { mean; df; scale; _ } = predict p s in
+  Altune_stats.Distributions.log_student_t_pdf ~mu:mean ~scale ~df y
+
+(* One more observation moves the posterior to kn+1, an+1/2 and, in
+   expectation under the current predictive, bn to
+   bn * (1 + 1/(2(an-1))) (since E[(y - mn)^2] = bn (kn+1) / (kn (an-1))
+   and the bn increment is kn/(kn+1)/2 times that).  The reduction is the
+   difference of the Student-t variances before and after. *)
+let expected_variance_reduction p s =
+  let { kn; an; bn; _ } = posterior p s in
+  if an <= 1.5 then
+    (* Posterior variance undefined (df <= 3 after update): treat the
+       expected payoff as the raw scale, which is large for fresh leaves. *)
+    bn *. (kn +. 1.0) /. (an *. kn)
+  else begin
+    let var_now = bn *. (kn +. 1.0) /. (kn *. (an -. 1.0)) in
+    let bn' = bn *. (1.0 +. (1.0 /. (2.0 *. (an -. 1.0)))) in
+    let kn' = kn +. 1.0 in
+    let an' = an +. 0.5 in
+    let var_next = bn' *. (kn' +. 1.0) /. (kn' *. (an' -. 1.0)) in
+    Float.max 0.0 (var_now -. var_next)
+  end

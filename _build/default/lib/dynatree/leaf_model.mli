@@ -1,0 +1,51 @@
+(** Conjugate Normal–Inverse-Gamma leaf model for constant-response
+    regression leaves.
+
+    Each dynamic-tree leaf holds observations assumed i.i.d.
+    [N(mu, sigma^2)] with the conjugate prior
+    [mu | sigma^2 ~ N(m0, sigma^2 / k0)], [sigma^2 ~ IG(a0, b0)].
+    Closed forms exist for the marginal likelihood of the leaf's data (used
+    to weight stay/grow/prune moves) and the posterior predictive (a
+    location-scale Student-t), which is what predictions and the ALC
+    expected-variance-reduction computation consume. *)
+
+type prior = { m0 : float; k0 : float; a0 : float; b0 : float }
+
+val default_prior : prior
+(** Weak prior centred at zero, intended for standardized responses:
+    [m0 = 0, k0 = 0.1, a0 = 2, b0 = 0.5]. *)
+
+type suff = { n : int; sum : float; sumsq : float }
+(** Sufficient statistics of a leaf's responses. *)
+
+val empty_suff : suff
+val add_suff : suff -> float -> suff
+val merge_suff : suff -> suff -> suff
+
+type posterior = { kn : float; mn : float; an : float; bn : float }
+
+val posterior : prior -> suff -> posterior
+
+val log_marginal : prior -> suff -> float
+(** Log marginal likelihood of the leaf's data under the prior,
+    [log p(y_1..y_n)]; [0.] for an empty leaf. *)
+
+type predictive = {
+  mean : float;
+  variance : float;
+      (** Variance of the posterior predictive (Student-t), [infinity] when
+          the degrees of freedom are <= 2. *)
+  df : float;
+  scale : float;  (** Scale of the Student-t. *)
+}
+
+val predict : prior -> suff -> predictive
+
+val log_predictive_density : prior -> suff -> float -> float
+(** [log p(y | data)] — the particle reweighting factor. *)
+
+val expected_variance_reduction : prior -> suff -> float
+(** Expected drop in the posterior-predictive variance at this leaf from
+    one additional observation drawn from the current predictive — the
+    per-reference-point ALC payoff of sampling this leaf again.  Never
+    negative. *)

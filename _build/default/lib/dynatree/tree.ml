@@ -1,0 +1,283 @@
+module Rng = Altune_prng.Rng
+
+type store = {
+  dim : int;
+  mutable xs : float array array;
+  mutable ys : float array;
+  mutable size : int;
+  next_id : int ref;  (* shared leaf-id supply *)
+}
+
+let make_store ~dim =
+  { dim; xs = Array.make 16 [||]; ys = Array.make 16 0.0; size = 0;
+    next_id = ref 0 }
+
+let store_size st = st.size
+
+let append st x y =
+  if Array.length x <> st.dim then
+    invalid_arg "Tree.append: wrong feature dimension";
+  if st.size = Array.length st.ys then begin
+    let cap = 2 * st.size in
+    let xs = Array.make cap [||] and ys = Array.make cap 0.0 in
+    Array.blit st.xs 0 xs 0 st.size;
+    Array.blit st.ys 0 ys 0 st.size;
+    st.xs <- xs;
+    st.ys <- ys
+  end;
+  st.xs.(st.size) <- Array.copy x;
+  st.ys.(st.size) <- y;
+  st.size <- st.size + 1;
+  st.size - 1
+
+let store_x st i = st.xs.(i)
+let store_y st i = st.ys.(i)
+
+type leaf = { id : int; indices : int list; suff : Leaf_model.suff }
+
+type node =
+  | Leaf of leaf
+  | Split of { dim : int; threshold : float; left : node; right : node }
+
+type params = {
+  alpha : float;
+  beta : float;
+  prior : Leaf_model.prior;
+  min_leaf : int;
+}
+
+let default_params =
+  { alpha = 0.95; beta = 2.0; prior = Leaf_model.default_prior; min_leaf = 2 }
+
+type t = { params : params; store : store; root : node }
+
+let fresh_id store =
+  let id = !(store.next_id) in
+  incr store.next_id;
+  id
+
+let suff_of_indices store indices =
+  List.fold_left
+    (fun s i -> Leaf_model.add_suff s (store_y store i))
+    Leaf_model.empty_suff indices
+
+let make_leaf store indices =
+  Leaf { id = fresh_id store; indices; suff = suff_of_indices store indices }
+
+let singleton params store indices =
+  { params; store; root = make_leaf store indices }
+
+let copy t = t
+
+let p_split params depth =
+  params.alpha *. ((1.0 +. float_of_int depth) ** -.params.beta)
+
+let rec find_leaf node x =
+  match node with
+  | Leaf l -> l
+  | Split s ->
+      if x.(s.dim) <= s.threshold then find_leaf s.left x
+      else find_leaf s.right x
+
+let predict t x =
+  let l = find_leaf t.root x in
+  Leaf_model.predict t.params.prior l.suff
+
+let log_predictive t x y =
+  let l = find_leaf t.root x in
+  Leaf_model.log_predictive_density t.params.prior l.suff y
+
+let leaf_stats_at t x =
+  let l = find_leaf t.root x in
+  (l.id, l.suff)
+
+let leaf_ref_counts t refs =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun x ->
+      let l = find_leaf t.root x in
+      Hashtbl.replace tbl l.id
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl l.id)))
+    refs;
+  tbl
+
+let rec n_leaves_node = function
+  | Leaf _ -> 1
+  | Split s -> n_leaves_node s.left + n_leaves_node s.right
+
+let n_leaves t = n_leaves_node t.root
+
+let rec depth_node = function
+  | Leaf _ -> 0
+  | Split s -> 1 + max (depth_node s.left) (depth_node s.right)
+
+let depth t = depth_node t.root
+
+let rec count_obs = function
+  | Leaf l -> l.suff.n
+  | Split s -> count_obs s.left + count_obs s.right
+
+let n_observations t = count_obs t.root
+
+(* Sample a candidate split of [indices]: a uniformly chosen dimension and
+   a threshold at the midpoint between the values of two distinct data
+   points in that dimension.  O(|leaf|) — the update loop calls this for
+   one leaf of every particle on every observation, so it must not sort.
+   Returns the partition if both sides meet the minimum leaf size; [None]
+   (no grow proposal this step) otherwise. *)
+let sample_split ~rng params store indices =
+  let arr = Array.of_list indices in
+  let n = Array.length arr in
+  if n < 2 * params.min_leaf then None
+  else begin
+    let d = Rng.int rng store.dim in
+    let value i = (store_x store arr.(i)).(d) in
+    (* A few attempts to find two distinct values in the chosen dim. *)
+    let rec distinct_pair attempts =
+      if attempts = 0 then None
+      else begin
+        let a = value (Rng.int rng n) and b = value (Rng.int rng n) in
+        if a <> b then Some (Float.min a b, Float.max a b)
+        else distinct_pair (attempts - 1)
+      end
+    in
+    match distinct_pair 8 with
+    | None -> None
+    | Some (lo, hi) ->
+        let threshold = 0.5 *. (lo +. hi) in
+        let left, right =
+          List.partition
+            (fun i -> (store_x store i).(d) <= threshold)
+            indices
+        in
+        if
+          List.length left >= params.min_leaf
+          && List.length right >= params.min_leaf
+        then Some (d, threshold, left, right)
+        else None
+  end
+
+(* Log-weight helpers for the three moves, local to the subtree around the
+   target leaf. *)
+let log1m_psplit params d = log1p (-.p_split params d)
+let log_psplit params d = log (p_split params d)
+
+type move =
+  | Stay
+  | Grow of int * float * int list * int list  (* dim, threshold, l, r *)
+  | Prune
+
+(* Gumbel-free categorical sampling over log weights. *)
+let sample_logweights ~rng weights =
+  let m = List.fold_left (fun acc (_, w) -> Float.max acc w) neg_infinity
+      weights in
+  let exps = List.map (fun (tag, w) -> (tag, exp (w -. m))) weights in
+  let total = List.fold_left (fun acc (_, e) -> acc +. e) 0.0 exps in
+  let u = Rng.float rng total in
+  let rec pick acc = function
+    | [] -> fst (List.hd (List.rev exps))
+    | (tag, e) :: rest ->
+        let acc = acc +. e in
+        if u <= acc then tag else pick acc rest
+  in
+  pick 0.0 exps
+
+let update ~rng t i =
+  let params = t.params and store = t.store in
+  let x = store_x store i and y = store_y store i in
+  let prior = params.prior in
+  let lm = Leaf_model.log_marginal prior in
+  (* Moves available at a leaf reached at [depth]; [prune_context] carries
+     the sibling's data when the immediate sibling is also a leaf, which is
+     the only configuration the dynamic tree prunes. *)
+  let leaf_moves ~depth ~prune_context (suff : Leaf_model.suff) indices =
+    let suff_with = Leaf_model.add_suff suff y in
+    let stay_w = log1m_psplit params depth +. lm suff_with in
+    let grow =
+      match sample_split ~rng params store (i :: indices) with
+      | None -> []
+      | Some (d, thr, li, ri) ->
+          let grow_w =
+            log_psplit params depth
+            +. log1m_psplit params (depth + 1)
+            +. log1m_psplit params (depth + 1)
+            +. lm (suff_of_indices store li)
+            +. lm (suff_of_indices store ri)
+          in
+          [ (Grow (d, thr, li, ri), grow_w) ]
+    in
+    let prune =
+      match prune_context with
+      | None -> []
+      | Some (sib_suff, _sib_indices) ->
+          (* Compare full local posteriors of the parent subtree; the stay
+             and grow weights get the parent-split and sibling factors. *)
+          let common =
+            log_psplit params (depth - 1)
+            +. log1m_psplit params depth
+            +. lm sib_suff
+          in
+          let prune_w =
+            log1m_psplit params (depth - 1)
+            +. lm (Leaf_model.merge_suff suff_with sib_suff)
+            -. common
+          in
+          [ (Prune, prune_w) ]
+    in
+    sample_logweights ~rng ((Stay, stay_w) :: (grow @ prune))
+  in
+  let grown_node d thr li ri =
+    Split
+      {
+        dim = d;
+        threshold = thr;
+        left = make_leaf store li;
+        right = make_leaf store ri;
+      }
+  in
+  let add_to_leaf (l : leaf) =
+    Leaf
+      {
+        id = fresh_id store;
+        indices = i :: l.indices;
+        suff = Leaf_model.add_suff l.suff y;
+      }
+  in
+  let rec go node depth =
+    match node with
+    | Leaf l -> (
+        (* Root leaf: no prune possible. *)
+        match leaf_moves ~depth ~prune_context:None l.suff l.indices with
+        | Stay -> add_to_leaf l
+        | Grow (d, thr, li, ri) -> grown_node d thr li ri
+        | Prune -> assert false)
+    | Split s ->
+        let goes_left = x.(s.dim) <= s.threshold in
+        let child = if goes_left then s.left else s.right in
+        let sibling = if goes_left then s.right else s.left in
+        let rebuilt new_child =
+          if goes_left then Split { s with left = new_child }
+          else Split { s with right = new_child }
+        in
+        (match child with
+        | Split _ -> rebuilt (go child (depth + 1))
+        | Leaf l -> (
+            let prune_context =
+              match sibling with
+              | Leaf sl -> Some (sl.suff, sl.indices)
+              | Split _ -> None
+            in
+            match
+              leaf_moves ~depth:(depth + 1) ~prune_context l.suff l.indices
+            with
+            | Stay -> rebuilt (add_to_leaf l)
+            | Grow (d, thr, li, ri) -> rebuilt (grown_node d thr li ri)
+            | Prune ->
+                let sib_indices =
+                  match sibling with
+                  | Leaf sl -> sl.indices
+                  | Split _ -> assert false
+                in
+                make_leaf store (i :: (l.indices @ sib_indices))))
+  in
+  { t with root = go t.root 0 }

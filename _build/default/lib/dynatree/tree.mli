@@ -1,0 +1,56 @@
+(** A single dynamic-tree particle: an axis-aligned binary regression tree
+    over a shared data store, supporting the stochastic stay / grow / prune
+    update of Taddy, Gramacy & Polson and the leaf queries the ensemble
+    needs (predictive lookup, reference-set partitioning). *)
+
+type store
+(** Shared, append-only observation store ([x] vectors and [y] responses);
+    all particles index into the same store. *)
+
+val make_store : dim:int -> store
+val store_size : store -> int
+val append : store -> float array -> float -> int
+(** Add an observation, returning its index.  The [x] array is copied. *)
+
+val store_x : store -> int -> float array
+val store_y : store -> int -> float
+
+type t
+(** One particle. *)
+
+type params = {
+  alpha : float;  (** Split-prior base rate, [p_split = alpha (1+d)^-beta]. *)
+  beta : float;  (** Split-prior depth decay. *)
+  prior : Leaf_model.prior;
+  min_leaf : int;  (** Minimum observations on each side of a new split. *)
+}
+
+val default_params : params
+
+val singleton : params -> store -> int list -> t
+(** A root-leaf tree over the given observation indices. *)
+
+val copy : t -> t
+(** Particles share immutable node structure; copy is O(1). *)
+
+val log_predictive : t -> float array -> float -> float
+(** [log p(y | x, tree)] — the particle weight factor for resampling. *)
+
+val update : rng:Altune_prng.Rng.t -> t -> int -> t
+(** [update ~rng tree i] inserts observation [i] (already in the store)
+    into the leaf containing its [x], stochastically choosing among stay /
+    grow (on a sampled candidate split) / prune in proportion to their
+    local posterior weight. *)
+
+val predict : t -> float array -> Leaf_model.predictive
+
+val leaf_stats_at : t -> float array -> int * Leaf_model.suff
+(** Leaf id and sufficient statistics of the leaf containing [x]. *)
+
+val leaf_ref_counts : t -> float array array -> (int, int) Hashtbl.t
+(** Partition a reference set down the tree: leaf id → number of reference
+    points landing in that leaf. *)
+
+val n_leaves : t -> int
+val depth : t -> int
+val n_observations : t -> int

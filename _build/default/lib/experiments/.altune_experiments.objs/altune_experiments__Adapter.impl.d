@@ -1,0 +1,1 @@
+lib/experiments/adapter.ml: Altune_core Altune_spapt

@@ -1,0 +1,1 @@
+lib/experiments/adapter.mli: Altune_core Altune_spapt

@@ -1,0 +1,1 @@
+lib/experiments/drivers.ml: Adapter Altune_core Altune_gp Altune_prng Altune_report Altune_spapt Altune_stats Array Float Hashtbl List Option Printf Runs Scale String

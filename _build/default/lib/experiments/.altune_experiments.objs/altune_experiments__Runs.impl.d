@@ -1,0 +1,1 @@
+lib/experiments/runs.ml: Adapter Altune_core Altune_prng Altune_spapt Hashtbl List Printf Scale

@@ -1,0 +1,1 @@
+lib/experiments/runs.mli: Altune_core Altune_spapt Scale

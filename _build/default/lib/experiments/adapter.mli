@@ -1,0 +1,4 @@
+(** Adapts a SPAPT benchmark to the active learner's abstract
+    {!Altune_core.Problem.t} interface. *)
+
+val problem_of : Altune_spapt.Spapt.t -> Altune_core.Problem.t

@@ -1,0 +1,64 @@
+module Spapt = Altune_spapt.Spapt
+module Rng = Altune_prng.Rng
+module Dataset = Altune_core.Dataset
+module Learner = Altune_core.Learner
+module Experiment = Altune_core.Experiment
+
+type plan_curves = {
+  bench : string;
+  all_observations : Experiment.curve;
+  one_observation : Experiment.curve;
+  variable_observations : Experiment.curve;
+}
+
+let dataset_cache : (string, Dataset.t) Hashtbl.t = Hashtbl.create 16
+let curve_cache : (string, plan_curves) Hashtbl.t = Hashtbl.create 16
+
+let clear_cache () =
+  Hashtbl.reset dataset_cache;
+  Hashtbl.reset curve_cache
+
+let dataset_for bench (scale : Scale.t) ~seed =
+  let key = Printf.sprintf "%s/%s/%d" (Spapt.name bench) scale.label seed in
+  match Hashtbl.find_opt dataset_cache key with
+  | Some d -> d
+  | None ->
+      let problem = Adapter.problem_of bench in
+      let rng = Rng.create ~seed:(Hashtbl.hash (seed, "dataset", key)) in
+      let d =
+        Dataset.generate problem ~rng ~n_configs:scale.n_configs
+          ~test_fraction:scale.test_fraction ~n_obs:scale.n_obs
+      in
+      Hashtbl.replace dataset_cache key d;
+      d
+
+let run_plan problem dataset settings (scale : Scale.t) ~seed ~tag =
+  let seeds =
+    List.init scale.reps (fun r -> Hashtbl.hash (seed, tag, r, problem.Altune_core.Problem.name))
+  in
+  Experiment.repeat problem dataset settings ~seeds None
+
+let curves_for bench (scale : Scale.t) ~seed =
+  let key = Printf.sprintf "%s/%s/%d" (Spapt.name bench) scale.label seed in
+  match Hashtbl.find_opt curve_cache key with
+  | Some c -> c
+  | None ->
+      let problem = Adapter.problem_of bench in
+      let dataset = dataset_for bench scale ~seed in
+      let c =
+        {
+          bench = Spapt.name bench;
+          all_observations =
+            run_plan problem dataset
+              (Scale.fixed scale scale.n_obs)
+              scale ~seed ~tag:"fixed";
+          one_observation =
+            run_plan problem dataset (Scale.fixed scale 1) scale ~seed
+              ~tag:"one";
+          variable_observations =
+            run_plan problem dataset scale.adaptive scale ~seed
+              ~tag:"adaptive";
+        }
+      in
+      Hashtbl.replace curve_cache key c;
+      c

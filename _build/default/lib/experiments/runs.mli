@@ -1,0 +1,21 @@
+(** Shared execution of the three sampling plans on a benchmark, with
+    per-process caching so Table 1, Figure 5 and Figure 6 do not recompute
+    one another's runs. *)
+
+type plan_curves = {
+  bench : string;
+  all_observations : Altune_core.Experiment.curve;  (** Fixed 35. *)
+  one_observation : Altune_core.Experiment.curve;  (** Fixed 1. *)
+  variable_observations : Altune_core.Experiment.curve;  (** Adaptive. *)
+}
+
+val dataset_for :
+  Altune_spapt.Spapt.t -> Scale.t -> seed:int -> Altune_core.Dataset.t
+(** Cached dataset for a benchmark at a scale (deterministic per seed). *)
+
+val curves_for :
+  Altune_spapt.Spapt.t -> Scale.t -> seed:int -> plan_curves
+(** Curves for all three plans, averaged over [scale.reps] repetitions
+    with seeds derived from [seed]; cached per (benchmark, scale, seed). *)
+
+val clear_cache : unit -> unit

@@ -1,0 +1,1 @@
+lib/gp/gp.ml: Altune_core Altune_stats Array Float

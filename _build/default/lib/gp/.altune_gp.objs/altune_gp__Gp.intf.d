@@ -1,0 +1,1 @@
+lib/gp/gp.mli: Altune_core

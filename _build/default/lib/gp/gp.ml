@@ -1,0 +1,190 @@
+module Linalg = Altune_stats.Linalg
+module Descriptive = Altune_stats.Descriptive
+module Surrogate = Altune_core.Surrogate
+
+type params = {
+  lengthscale : float option;
+  noise_variance : float option;
+  jitter : float;
+  max_points : int;
+}
+
+let default_params =
+  { lengthscale = None; noise_variance = None; jitter = 1e-8;
+    max_points = 2000 }
+
+type fitted = {
+  chol : float array array;
+  alpha : float array;  (* K^-1 (y - mean) *)
+  y_mean : float;
+  lengthscale : float;
+  signal_var : float;
+  noise_var : float;
+}
+
+type t = {
+  params : params;
+  dim : int;
+  noise_hint : float option;
+  mutable xs : float array list;  (* newest first *)
+  mutable ys : float list;
+  mutable n : int;
+  mutable fit : fitted option;  (* None = stale *)
+}
+
+let create ?(params = default_params) ?noise_hint ~dim () =
+  if dim <= 0 then invalid_arg "Gp.create: dim must be positive";
+  { params; dim; noise_hint; xs = []; ys = []; n = 0; fit = None }
+
+let n_observations t = t.n
+
+let observe t x y =
+  if Array.length x <> t.dim then
+    invalid_arg "Gp.observe: wrong feature dimension";
+  if t.n < t.params.max_points then begin
+    t.xs <- Array.copy x :: t.xs;
+    t.ys <- y :: t.ys;
+    t.n <- t.n + 1;
+    t.fit <- None
+  end
+
+let sq_dist a b =
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    s := !s +. (d *. d)
+  done;
+  !s
+
+let kernel ~lengthscale ~signal_var a b =
+  signal_var *. exp (-.sq_dist a b /. (2.0 *. lengthscale *. lengthscale))
+
+(* Median pairwise distance over (a subsample of) the data: the standard
+   lengthscale heuristic. *)
+let median_distance xs =
+  let xs = Array.of_list xs in
+  let n = Array.length xs in
+  if n < 2 then 1.0
+  else begin
+    let step = max 1 (n / 40) in
+    let ds = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      let j = ref (!i + step) in
+      while !j < n do
+        ds := sqrt (sq_dist xs.(!i) xs.(!j)) :: !ds;
+        j := !j + step
+      done;
+      i := !i + step
+    done;
+    match !ds with
+    | [] -> 1.0
+    | ds ->
+        let d = Descriptive.median (Array.of_list ds) in
+        if d > 0.0 then d else 1.0
+  end
+
+let refit t =
+  let xs = Array.of_list t.xs in
+  let ys = Array.of_list t.ys in
+  let n = Array.length xs in
+  let y_mean =
+    if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 ys /. float_of_int n
+  in
+  let signal_var =
+    if n < 2 then 1.0 else Float.max 1e-8 (Descriptive.variance ys)
+  in
+  let lengthscale =
+    match t.params.lengthscale with
+    | Some l -> l
+    | None -> median_distance t.xs
+  in
+  let noise_var =
+    match t.params.noise_variance with
+    | Some v -> v
+    | None -> (
+        match t.noise_hint with
+        | Some v -> Float.max 1e-8 v
+        | None -> 0.05 *. signal_var)
+  in
+  let k = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let v = kernel ~lengthscale ~signal_var xs.(i) xs.(j) in
+      k.(i).(j) <- v;
+      k.(j).(i) <- v
+    done;
+    k.(i).(i) <- k.(i).(i) +. noise_var +. t.params.jitter
+  done;
+  let chol = Linalg.cholesky k in
+  let centered = Array.map (fun y -> y -. y_mean) ys in
+  let alpha = Linalg.cholesky_solve chol centered in
+  let f = { chol; alpha; y_mean; lengthscale; signal_var; noise_var } in
+  t.fit <- Some f;
+  f
+
+let fitted t =
+  match t.fit with
+  | Some f when t.n > 0 -> Some f
+  | Some _ | None -> if t.n = 0 then None else Some (refit t)
+
+let k_vector t (f : fitted) x =
+  let xs = Array.of_list t.xs in
+  Array.map
+    (fun xi -> kernel ~lengthscale:f.lengthscale ~signal_var:f.signal_var xi x)
+    xs
+
+let predict t x =
+  match fitted t with
+  | None ->
+      (* Prior: zero mean, unit-ish variance. *)
+      { Surrogate.mean = 0.0; variance = 1.0 }
+  | Some f ->
+      let kx = k_vector t f x in
+      let mean = f.y_mean +. Linalg.dot kx f.alpha in
+      let v = Linalg.cholesky_solve f.chol kx in
+      let latent = f.signal_var -. Linalg.dot kx v in
+      { Surrogate.mean; variance = Float.max 0.0 latent +. f.noise_var }
+
+let alc_scores t ~candidates ~refs =
+  match fitted t with
+  | None -> Array.map (fun _ -> 1.0) candidates
+  | Some f ->
+      let nrefs = float_of_int (max 1 (Array.length refs)) in
+      (* Precompute per-reference kernel vectors once. *)
+      let ref_ks = Array.map (fun z -> k_vector t f z) refs in
+      Array.map
+        (fun x ->
+          let kx = k_vector t f x in
+          let v = Linalg.cholesky_solve f.chol kx in
+          let var_x =
+            Float.max 1e-12 (f.signal_var -. Linalg.dot kx v)
+          in
+          let denom = var_x +. f.noise_var in
+          let total = ref 0.0 in
+          Array.iteri
+            (fun i z ->
+              let cov =
+                kernel ~lengthscale:f.lengthscale ~signal_var:f.signal_var z
+                  x
+                -. Linalg.dot ref_ks.(i) v
+              in
+              total := !total +. (cov *. cov /. denom))
+            refs;
+          !total /. nrefs)
+        candidates
+
+module Gp_surrogate = struct
+  type nonrec t = t
+
+  let name = "gp"
+  let observe = observe
+  let predict = predict
+  let alc_scores = alc_scores
+  let n_observations = n_observations
+end
+
+let factory ?(params = default_params) () : Surrogate.factory =
+ fun ~noise_hint ~rng ~dim ->
+  ignore rng;
+  Surrogate.Pack ((module Gp_surrogate), create ~params ?noise_hint ~dim ())

@@ -1,0 +1,41 @@
+(** Exact Gaussian-process regression with a squared-exponential kernel.
+
+    This is the model the paper argues {e against} (Section 3.2): accurate
+    and with calibrated uncertainty, but every update costs O(n^3) because
+    the kernel matrix must be refactorized, where the dynamic tree updates
+    incrementally.  It is provided behind the {!Altune_core.Surrogate}
+    interface so the trade-off is measurable: the ablation and the micro
+    benchmarks compare both on equal terms.
+
+    Hyperparameters are set by standard heuristics at each refit:
+    lengthscale from the median pairwise distance, signal variance from
+    the response variance, and noise variance from the learner's seed-phase
+    estimate (or a fraction of the signal variance). *)
+
+type params = {
+  lengthscale : float option;  (** [None]: median-distance heuristic. *)
+  noise_variance : float option;
+      (** [None]: the surrogate [noise_hint], or 5% of signal variance. *)
+  jitter : float;  (** Diagonal stabilizer (default 1e-8). *)
+  max_points : int;
+      (** Refuse (ignore) observations beyond this count, guarding against
+          accidental O(n^3) blow-ups; default 2,000. *)
+}
+
+val default_params : params
+
+type t
+
+val create : ?params:params -> ?noise_hint:float -> dim:int -> unit -> t
+val observe : t -> float array -> float -> unit
+val predict : t -> float array -> Altune_core.Surrogate.prediction
+
+val alc_scores :
+  t -> candidates:float array array -> refs:float array array -> float array
+(** Closed-form GP ALC: adding an observation at candidate [x] reduces the
+    posterior variance at [z] by [cov(z, x)^2 / (var(x) + noise)]. *)
+
+val n_observations : t -> int
+
+val factory : ?params:params -> unit -> Altune_core.Surrogate.factory
+(** Use the GP as the active learner's surrogate. *)

@@ -1,0 +1,1 @@
+lib/kernellang/analysis.ml: Array Ast Float List

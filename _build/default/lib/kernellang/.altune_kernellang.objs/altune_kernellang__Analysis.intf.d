@@ -1,0 +1,1 @@
+lib/kernellang/analysis.mli: Ast

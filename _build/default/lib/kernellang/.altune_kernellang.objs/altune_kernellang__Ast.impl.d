@@ -1,0 +1,1 @@
+lib/kernellang/ast.ml: Format List Option

@@ -1,0 +1,1 @@
+lib/kernellang/ast.mli: Format

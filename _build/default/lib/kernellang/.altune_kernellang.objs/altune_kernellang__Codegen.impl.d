@@ -1,0 +1,1 @@
+lib/kernellang/codegen.ml: Ast Buffer Filename Fun Hashtbl List Printf String Sys

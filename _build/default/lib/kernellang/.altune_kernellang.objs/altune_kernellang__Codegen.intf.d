@@ -1,0 +1,1 @@
+lib/kernellang/codegen.mli: Ast

@@ -1,0 +1,1 @@
+lib/kernellang/dependence.ml: Array Ast Format Hashtbl List Option String

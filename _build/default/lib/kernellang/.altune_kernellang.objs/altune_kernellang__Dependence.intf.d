@@ -1,0 +1,1 @@
+lib/kernellang/dependence.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/kernellang/interp.ml: Array Ast Float Format Hashtbl List Option Stdlib

@@ -1,0 +1,1 @@
+lib/kernellang/interp.mli: Ast

@@ -1,0 +1,1 @@
+lib/kernellang/lexer.ml: Array List Printf String

@@ -1,0 +1,1 @@
+lib/kernellang/parser.ml: Array Ast Format Lexer List

@@ -1,0 +1,1 @@
+lib/kernellang/parser.mli: Ast Lexer

@@ -1,0 +1,1 @@
+lib/kernellang/pretty.ml: Ast Format List Printf String

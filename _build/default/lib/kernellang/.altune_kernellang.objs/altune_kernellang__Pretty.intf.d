@@ -1,0 +1,1 @@
+lib/kernellang/pretty.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/kernellang/simplify.ml: Ast List Option

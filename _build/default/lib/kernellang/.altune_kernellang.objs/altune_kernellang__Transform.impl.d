@@ -1,0 +1,1 @@
+lib/kernellang/transform.ml: Ast Dependence Format List Option Printf Result Simplify String

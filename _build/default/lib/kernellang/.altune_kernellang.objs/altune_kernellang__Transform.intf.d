@@ -1,0 +1,1 @@
+lib/kernellang/transform.mli: Ast Format

@@ -1,0 +1,370 @@
+type access = {
+  array : string;
+  is_write : bool;
+  coeffs : (string * float) list;
+  offset : float;
+  affine : bool;
+}
+
+type loop_node = {
+  index : string;
+  trips : float;
+  step : int;
+  accesses : access list;
+  flops : float;
+  iops : float;
+  stmts : float;
+  children : loop_node list;
+}
+
+type t = {
+  roots : loop_node list;
+  array_elements : (string * float) list;
+  straightline_stmts : float;
+}
+
+(* Environment: parameters and average values of live loop indices.
+   [expansion] maps a live index whose lower bound depends on enclosing
+   indices (strip-mined point loops: [for i = i_t to min(i_t + T - 1, ...)])
+   to the fully-folded affine coefficients of that bound, so that an access
+   subscripted by [i] is correctly seen to sweep with [i_t] as well. *)
+type env = {
+  values : (string * float) list;
+  live : string list;
+  expansion : (string * (string * float) list) list;
+}
+
+exception Non_affine
+
+(* Numeric evaluation of an expression under average index values.  Used
+   for loop bounds; Min/Max/Idiv are common there (tile edges, unroll
+   remainder bounds). *)
+let rec eval_avg env (e : Ast.expr) : float =
+  match e with
+  | Int_lit n -> float_of_int n
+  | Float_lit x -> x
+  | Var x -> (
+      match List.assoc_opt x env.values with
+      | Some v -> v
+      | None -> raise Non_affine)
+  | Index _ -> raise Non_affine
+  | Binop (op, a, b) -> (
+      let x = eval_avg env a and y = eval_avg env b in
+      match op with
+      | Add -> x +. y
+      | Sub -> x -. y
+      | Mul -> x *. y
+      | Div -> x /. y
+      | Idiv -> if y = 0.0 then raise Non_affine else Float.of_int (int_of_float x / int_of_float y)
+      | Mod -> if y = 0.0 then raise Non_affine else Float.rem x y
+      | Min -> Float.min x y
+      | Max -> Float.max x y)
+  | Neg a -> -.eval_avg env a
+  | Sqrt a -> sqrt (eval_avg env a)
+
+(* Affine coefficient of [var] in an integer expression, with all other
+   live indices treated as symbolic (coefficient extraction) and parameters
+   as constants.  Raises [Non_affine] on products of two var-dependent
+   terms, or Idiv/Mod/Min/Max applied to var-dependent operands. *)
+let rec coeff env var (e : Ast.expr) : float =
+  let depends e = List.exists (fun v -> List.mem v env.live) (Ast.free_vars e) in
+  match e with
+  | Int_lit _ | Float_lit _ -> 0.0
+  | Var x -> if x = var then 1.0 else 0.0
+  | Index _ -> raise Non_affine
+  | Neg a -> -.coeff env var a
+  | Sqrt a -> if depends a then raise Non_affine else 0.0
+  | Binop (Add, a, b) -> coeff env var a +. coeff env var b
+  | Binop (Sub, a, b) -> coeff env var a -. coeff env var b
+  | Binop (Mul, a, b) ->
+      if not (depends a) then eval_avg env a *. coeff env var b
+      else if not (depends b) then coeff env var a *. eval_avg env b
+      else raise Non_affine
+  | Binop ((Div | Idiv | Mod | Min | Max), a, b) ->
+      if depends a || depends b then raise Non_affine else 0.0
+
+let count_ops (e : Ast.expr) =
+  (* flops: operators outside subscripts; iops: operators inside them. *)
+  let rec go in_subscript e =
+    match e with
+    | Ast.Int_lit _ | Float_lit _ | Var _ -> (0, 0)
+    | Index (_, subs) ->
+        List.fold_left
+          (fun (f, i) s ->
+            let f', i' = go true s in
+            (f + f', i + i'))
+          (0, 0) subs
+    | Binop (_, a, b) ->
+        let fa, ia = go in_subscript a in
+        let fb, ib = go in_subscript b in
+        if in_subscript then (fa + fb, ia + ib + 1) else (fa + fb + 1, ia + ib)
+    | Neg a | Sqrt a ->
+        let f, i = go in_subscript a in
+        if in_subscript then (f, i + 1) else (f + 1, i)
+  in
+  go false e
+
+(* Row-major flat-offset coefficient: sum over dimensions of the subscript
+   coefficient times the product of the extents of later dimensions. *)
+let access_of ~env ~dims ~is_write array subs =
+  let rank = List.length subs in
+  let extents =
+    match List.assoc_opt array dims with
+    | Some e -> e
+    | None -> Array.make rank 1.0
+  in
+  let row_stride k =
+    let s = ref 1.0 in
+    for j = k + 1 to Array.length extents - 1 do
+      s := !s *. extents.(j)
+    done;
+    !s
+  in
+  let env0 =
+    (* All live indices at zero: evaluating a subscript in env0 yields the
+       constant term of its affine form. *)
+    {
+      env with
+      values =
+        List.map
+          (fun (name, v) -> if List.mem name env.live then (name, 0.0) else (name, v))
+          env.values;
+    }
+  in
+  match
+    let raw =
+      List.map
+        (fun var ->
+          let c = ref 0.0 in
+          List.iteri
+            (fun k sub -> c := !c +. (coeff env var sub *. row_stride k))
+            subs;
+          (var, !c))
+        env.live
+    in
+    let lookup alist v =
+      match List.assoc_opt v alist with Some c -> c | None -> 0.0
+    in
+    (* Fold bound-induced dependence: a subscript coefficient on a
+       strip-mined point index also sweeps with the indices its lower
+       bound ranges over. *)
+    let coeffs =
+      List.map
+        (fun v ->
+          let extra =
+            List.fold_left
+              (fun acc (u, cu) ->
+                match List.assoc_opt u env.expansion with
+                | Some exp_u -> acc +. (cu *. lookup exp_u v)
+                | None -> acc)
+              0.0 raw
+          in
+          (v, lookup raw v +. extra))
+        env.live
+    in
+    let offset = ref 0.0 in
+    List.iteri
+      (fun k sub -> offset := !offset +. (eval_avg env0 sub *. row_stride k))
+      subs;
+    (coeffs, !offset)
+  with
+  | coeffs, offset ->
+      let coeffs = List.filter (fun (_, c) -> c <> 0.0) coeffs in
+      { array; is_write; coeffs; offset; affine = true }
+  | exception Non_affine ->
+      { array; is_write; coeffs = []; offset = 0.0; affine = false }
+
+let rec exprs_of_cond (c : Ast.cond) =
+  match c with
+  | Cmp (_, a, b) -> [ a; b ]
+  | And (a, b) | Or (a, b) -> exprs_of_cond a @ exprs_of_cond b
+  | Not a -> exprs_of_cond a
+
+(* Direct statistics of statements under [s], stopping at nested loops,
+   which are returned separately for recursion. *)
+let rec direct_stats ~env ~dims (s : Ast.stmt) =
+  match s with
+  | Assign (lhs, rhs) ->
+      let rec accesses_of_expr e =
+        match e with
+        | Ast.Int_lit _ | Float_lit _ | Var _ -> []
+        | Index (a, subs) ->
+            access_of ~env ~dims ~is_write:false a subs
+            :: List.concat_map accesses_of_expr subs
+        | Binop (_, a, b) -> accesses_of_expr a @ accesses_of_expr b
+        | Neg a | Sqrt a -> accesses_of_expr a
+      in
+      let write, wf, wi =
+        match lhs with
+        | Scalar_lhs _ -> ([], 0, 0)
+        | Array_lhs (a, subs) ->
+            let f, i =
+              List.fold_left
+                (fun (f, i) s ->
+                  let f', i' = count_ops s in
+                  (f + f', i + i' + 1))
+                (0, 0) subs
+            in
+            ([ access_of ~env ~dims ~is_write:true a subs ], f, i)
+      in
+      let rf, ri = count_ops rhs in
+      let reads = accesses_of_expr rhs in
+      ( write @ reads,
+        float_of_int (rf + wf),
+        float_of_int (ri + wi),
+        1.0,
+        [] )
+  | Seq ss ->
+      List.fold_left
+        (fun (a, f, i, n, loops) s ->
+          let a', f', i', n', loops' = direct_stats ~env ~dims s in
+          (a @ a', f +. f', i +. i', n +. n', loops @ loops'))
+        ([], 0.0, 0.0, 0.0, []) ss
+  | For l -> ([], 0.0, 0.0, 0.0, [ l ])
+  | If (c, t, e) ->
+      (* Count both branches at half weight: a cheap expected-cost model of
+         data-dependent branches. *)
+      let cond_iops =
+        List.fold_left
+          (fun acc e ->
+            let f, i = count_ops e in
+            acc + f + i)
+          0 (exprs_of_cond c)
+      in
+      let at, ft, it, nt, lt = direct_stats ~env ~dims t in
+      let ae, fe, ie, ne, le =
+        match e with
+        | None -> ([], 0.0, 0.0, 0.0, [])
+        | Some e -> direct_stats ~env ~dims e
+      in
+      ( at @ ae,
+        ((ft +. fe) /. 2.0) +. float_of_int cond_iops,
+        (it +. ie) /. 2.0,
+        ((nt +. ne) /. 2.0) +. 1.0,
+        lt @ le )
+
+let rec build_loop ~env ~dims (l : Ast.loop) : loop_node =
+  let lo = try eval_avg env l.lo with Non_affine -> 0.0 in
+  let hi = try eval_avg env l.hi with Non_affine -> lo -. 1.0 in
+  (* Constant bounds get the exact floored trip count; bounds involving
+     enclosing indices are mid-range averages, where keeping the
+     fractional part is the better estimator (e.g. triangular loops). *)
+  let depends_on_live e =
+    List.exists (fun v -> List.mem v env.live) (Ast.free_vars e)
+  in
+  let raw = (hi -. lo) /. float_of_int l.step in
+  let trips =
+    if depends_on_live l.lo || depends_on_live l.hi then
+      Float.max 0.0 (raw +. 1.0)
+    else Float.max 0.0 (Float.floor raw +. 1.0)
+  in
+  let mid = (lo +. hi) /. 2.0 in
+  (* Fully-folded expansion of this loop's lower bound over enclosing
+     indices. *)
+  let lo_expansion =
+    let raw =
+      List.filter_map
+        (fun v ->
+          match coeff env v l.lo with
+          | c when c <> 0.0 -> Some (v, c)
+          | _ -> None
+          | exception Non_affine -> None)
+        env.live
+    in
+    let lookup alist v =
+      match List.assoc_opt v alist with Some c -> c | None -> 0.0
+    in
+    List.filter_map
+      (fun v ->
+        let extra =
+          List.fold_left
+            (fun acc (u, cu) ->
+              match List.assoc_opt u env.expansion with
+              | Some exp_u -> acc +. (cu *. lookup exp_u v)
+              | None -> acc)
+            0.0 raw
+        in
+        let total = lookup raw v +. extra in
+        if total = 0.0 then None else Some (v, total))
+      env.live
+  in
+  let env' =
+    {
+      values = (l.index, mid) :: env.values;
+      live = l.index :: env.live;
+      expansion =
+        (if lo_expansion = [] then env.expansion
+         else (l.index, lo_expansion) :: env.expansion);
+    }
+  in
+  let accesses, flops, iops, stmts, loops =
+    direct_stats ~env:env' ~dims l.body
+  in
+  let children = List.map (build_loop ~env:env' ~dims) loops in
+  { index = l.index; trips; step = l.step; accesses; flops; iops; stmts;
+    children }
+
+let analyze ?(param_overrides = []) (kernel : Ast.kernel) =
+  let params =
+    List.map
+      (fun (name, v) ->
+        match List.assoc_opt name param_overrides with
+        | Some v' -> (name, float_of_int v')
+        | None -> (name, float_of_int v))
+      kernel.params
+  in
+  let env = { values = params; live = []; expansion = [] } in
+  let dims =
+    List.map
+      (fun (d : Ast.array_decl) ->
+        let extents =
+          Array.of_list
+            (List.map
+               (fun e -> try eval_avg env e with Non_affine -> 1.0)
+               d.dims)
+        in
+        (d.array_name, extents))
+      kernel.arrays
+  in
+  let array_elements =
+    List.map
+      (fun (name, extents) -> (name, Array.fold_left ( *. ) 1.0 extents))
+      dims
+  in
+  let _, _, _, straightline, loops = direct_stats ~env ~dims kernel.body in
+  let roots = List.map (build_loop ~env ~dims) loops in
+  { roots; array_elements; straightline_stmts = straightline }
+
+let rec fold_loops f acc ~entered node =
+  let acc = f acc ~entered node in
+  let inner_entered = entered *. node.trips in
+  List.fold_left
+    (fun acc child -> fold_loops f acc ~entered:inner_entered child)
+    acc node.children
+
+let fold t f init =
+  List.fold_left (fun acc root -> fold_loops f acc ~entered:1.0 root) init
+    t.roots
+
+let total_iterations t =
+  fold t (fun acc ~entered node -> acc +. (entered *. node.trips)) 0.0
+
+let total_flops t =
+  fold t (fun acc ~entered node -> acc +. (entered *. node.trips *. node.flops))
+    0.0
+
+let total_memory_accesses t =
+  fold t
+    (fun acc ~entered node ->
+      acc
+      +. entered *. node.trips
+         *. float_of_int (List.length node.accesses))
+    0.0
+
+let rec innermost_code_size node =
+  (* Instruction estimate: each assignment ~2 insts + its op counts; each
+     nested loop contributes its body size once (code, not iterations). *)
+  let own = (2.0 *. node.stmts) +. node.flops +. node.iops in
+  List.fold_left
+    (fun acc child -> acc +. innermost_code_size child +. 2.0)
+    own node.children

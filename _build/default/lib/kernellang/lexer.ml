@@ -1,0 +1,281 @@
+type token =
+  | Kernel
+  | Array
+  | Scalar
+  | For
+  | To
+  | Step
+  | If
+  | Else
+  | Sqrt_kw
+  | Min_kw
+  | Max_kw
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent_slash
+  | Percent
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semicolon
+  | Assign_op
+  | Eq_op
+  | Ne_op
+  | Lt_op
+  | Le_op
+  | Gt_op
+  | Ge_op
+  | And_op
+  | Or_op
+  | Bang
+  | Eof
+
+type position = { line : int; column : int }
+type located = { token : token; pos : position }
+
+exception Lex_error of string * position
+
+let keyword_table =
+  [
+    ("kernel", Kernel);
+    ("array", Array);
+    ("scalar", Scalar);
+    ("for", For);
+    ("to", To);
+    ("step", Step);
+    ("if", If);
+    ("else", Else);
+    ("sqrt", Sqrt_kw);
+    ("min", Min_kw);
+    ("max", Max_kw);
+  ]
+
+let token_to_string = function
+  | Kernel -> "kernel"
+  | Array -> "array"
+  | Scalar -> "scalar"
+  | For -> "for"
+  | To -> "to"
+  | Step -> "step"
+  | If -> "if"
+  | Else -> "else"
+  | Sqrt_kw -> "sqrt"
+  | Min_kw -> "min"
+  | Max_kw -> "max"
+  | Ident s -> s
+  | Int n -> string_of_int n
+  | Float x -> string_of_float x
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent_slash -> "%/"
+  | Percent -> "%"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Comma -> ","
+  | Semicolon -> ";"
+  | Assign_op -> "="
+  | Eq_op -> "=="
+  | Ne_op -> "!="
+  | Lt_op -> "<"
+  | Le_op -> "<="
+  | Gt_op -> ">"
+  | Ge_op -> ">="
+  | And_op -> "&&"
+  | Or_op -> "||"
+  | Bang -> "!"
+  | Eof -> "<eof>"
+
+type state = {
+  src : string;
+  mutable offset : int;
+  mutable line : int;
+  mutable column : int;
+}
+
+let peek st =
+  if st.offset < String.length st.src then Some st.src.[st.offset] else None
+
+let peek2 st =
+  if st.offset + 1 < String.length st.src then Some st.src.[st.offset + 1]
+  else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.column <- 1
+  | Some _ -> st.column <- st.column + 1
+  | None -> ());
+  st.offset <- st.offset + 1
+
+let position st = { line = st.line; column = st.column }
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '#' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_trivia st
+  | Some _ | None -> ()
+
+let lex_number st pos =
+  let start = st.offset in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float = ref false in
+  (match (peek st, peek2 st) with
+  | Some '.', Some c when is_digit c ->
+      is_float := true;
+      advance st;
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance st;
+      (match peek st with
+      | Some ('+' | '-') -> advance st
+      | _ -> ());
+      if not (match peek st with Some c -> is_digit c | None -> false) then
+        raise (Lex_error ("malformed exponent", position st));
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+  | _ -> ());
+  let text = String.sub st.src start (st.offset - start) in
+  if !is_float then Float (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some n -> Int n
+    | None -> raise (Lex_error ("integer literal out of range", pos))
+
+let lex_ident st =
+  let start = st.offset in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.offset - start) in
+  match List.assoc_opt text keyword_table with
+  | Some kw -> kw
+  | None -> Ident text
+
+let next_token st =
+  skip_trivia st;
+  let pos = position st in
+  let tok =
+    match peek st with
+    | None -> Eof
+    | Some c when is_digit c -> lex_number st pos
+    | Some c when is_ident_start c -> lex_ident st
+    | Some c ->
+        let two first second result =
+          advance st;
+          match peek st with
+          | Some c when c = second ->
+              advance st;
+              result
+          | _ -> first
+        in
+        (match c with
+        | '+' ->
+            advance st;
+            Plus
+        | '-' ->
+            advance st;
+            Minus
+        | '*' ->
+            advance st;
+            Star
+        | '/' ->
+            advance st;
+            Slash
+        | '%' -> two Percent '/' Percent_slash
+        | '(' ->
+            advance st;
+            Lparen
+        | ')' ->
+            advance st;
+            Rparen
+        | '{' ->
+            advance st;
+            Lbrace
+        | '}' ->
+            advance st;
+            Rbrace
+        | '[' ->
+            advance st;
+            Lbracket
+        | ']' ->
+            advance st;
+            Rbracket
+        | ',' ->
+            advance st;
+            Comma
+        | ';' ->
+            advance st;
+            Semicolon
+        | '=' -> two Assign_op '=' Eq_op
+        | '<' -> two Lt_op '=' Le_op
+        | '>' -> two Gt_op '=' Ge_op
+        | '!' -> two Bang '=' Ne_op
+        | '&' -> (
+            advance st;
+            match peek st with
+            | Some '&' ->
+                advance st;
+                And_op
+            | _ -> raise (Lex_error ("expected && ", pos)))
+        | '|' -> (
+            advance st;
+            match peek st with
+            | Some '|' ->
+                advance st;
+                Or_op
+            | _ -> raise (Lex_error ("expected ||", pos)))
+        | c ->
+            raise
+              (Lex_error (Printf.sprintf "illegal character %C" c, pos)))
+  in
+  { token = tok; pos }
+
+let tokenize src =
+  let st = { src; offset = 0; line = 1; column = 1 } in
+  let acc = ref [] in
+  let rec loop () =
+    let t = next_token st in
+    acc := t :: !acc;
+    if t.token <> Eof then loop ()
+  in
+  loop ();
+  Array.of_list (List.rev !acc)

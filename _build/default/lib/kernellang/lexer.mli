@@ -1,0 +1,56 @@
+(** Hand-written lexer for the kernel DSL.  Produces the token stream
+    consumed by {!Parser}; every token carries its source position for
+    error reporting. *)
+
+type token =
+  | Kernel
+  | Array
+  | Scalar
+  | For
+  | To
+  | Step
+  | If
+  | Else
+  | Sqrt_kw
+  | Min_kw
+  | Max_kw
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent_slash  (** [%/], integer division. *)
+  | Percent  (** [%], modulo. *)
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semicolon
+  | Assign_op  (** [=] *)
+  | Eq_op  (** [==] *)
+  | Ne_op
+  | Lt_op
+  | Le_op
+  | Gt_op
+  | Ge_op
+  | And_op
+  | Or_op
+  | Bang
+  | Eof
+
+type position = { line : int; column : int }
+type located = { token : token; pos : position }
+
+exception Lex_error of string * position
+
+val tokenize : string -> located array
+(** Full tokenization of a source string; comments run from [#] to end of
+    line.  Raises {!Lex_error} on an illegal character or malformed
+    number. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,312 @@
+exception Parse_error of string * Lexer.position
+
+type state = { tokens : Lexer.located array; mutable cursor : int }
+
+let current st = st.tokens.(st.cursor)
+
+let fail st fmt =
+  Format.kasprintf (fun s -> raise (Parse_error (s, (current st).pos))) fmt
+
+let advance st =
+  if st.cursor < Array.length st.tokens - 1 then st.cursor <- st.cursor + 1
+
+let expect st token =
+  let { Lexer.token = t; _ } = current st in
+  if t = token then advance st
+  else
+    fail st "expected %s but found %s" (Lexer.token_to_string token)
+      (Lexer.token_to_string t)
+
+let accept st token =
+  if (current st).token = token then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_ident st =
+  match (current st).token with
+  | Ident name ->
+      advance st;
+      name
+  | t -> fail st "expected an identifier, found %s" (Lexer.token_to_string t)
+
+let expect_int st =
+  match (current st).token with
+  | Int n ->
+      advance st;
+      n
+  | t -> fail st "expected an integer, found %s" (Lexer.token_to_string t)
+
+let rec parse_expr_prec st =
+  let lhs = parse_term st in
+  let rec loop lhs =
+    match (current st).token with
+    | Plus ->
+        advance st;
+        loop (Ast.Binop (Add, lhs, parse_term st))
+    | Minus ->
+        advance st;
+        loop (Ast.Binop (Sub, lhs, parse_term st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_term st =
+  let lhs = parse_factor st in
+  let rec loop lhs =
+    match (current st).token with
+    | Star ->
+        advance st;
+        loop (Ast.Binop (Mul, lhs, parse_factor st))
+    | Slash ->
+        advance st;
+        loop (Ast.Binop (Div, lhs, parse_factor st))
+    | Percent_slash ->
+        advance st;
+        loop (Ast.Binop (Idiv, lhs, parse_factor st))
+    | Percent ->
+        advance st;
+        loop (Ast.Binop (Mod, lhs, parse_factor st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_factor st =
+  match (current st).token with
+  | Int n ->
+      advance st;
+      Ast.Int_lit n
+  | Float x ->
+      advance st;
+      Ast.Float_lit x
+  | Minus ->
+      advance st;
+      Ast.Neg (parse_factor st)
+  | Sqrt_kw ->
+      advance st;
+      expect st Lexer.Lparen;
+      let e = parse_expr_prec st in
+      expect st Lexer.Rparen;
+      Ast.Sqrt e
+  | Min_kw | Max_kw ->
+      let op =
+        if (current st).token = Lexer.Min_kw then Ast.Min else Ast.Max
+      in
+      advance st;
+      expect st Lexer.Lparen;
+      let a = parse_expr_prec st in
+      expect st Lexer.Comma;
+      let b = parse_expr_prec st in
+      expect st Lexer.Rparen;
+      Ast.Binop (op, a, b)
+  | Lparen ->
+      advance st;
+      let e = parse_expr_prec st in
+      expect st Lexer.Rparen;
+      e
+  | Ident name ->
+      advance st;
+      let rec indices acc =
+        if accept st Lexer.Lbracket then begin
+          let e = parse_expr_prec st in
+          expect st Lexer.Rbracket;
+          indices (e :: acc)
+        end
+        else List.rev acc
+      in
+      let idx = indices [] in
+      if idx = [] then Ast.Var name else Ast.Index (name, idx)
+  | t -> fail st "expected an expression, found %s" (Lexer.token_to_string t)
+
+let cmpop_of_token = function
+  | Lexer.Eq_op -> Some Ast.Eq
+  | Lexer.Ne_op -> Some Ast.Ne
+  | Lexer.Lt_op -> Some Ast.Lt
+  | Lexer.Le_op -> Some Ast.Le
+  | Lexer.Gt_op -> Some Ast.Gt
+  | Lexer.Ge_op -> Some Ast.Ge
+  | _ -> None
+
+let rec parse_cond st =
+  let lhs = parse_conj st in
+  if accept st Lexer.Or_op then Ast.Or (lhs, parse_cond st) else lhs
+
+and parse_conj st =
+  let lhs = parse_cond_atom st in
+  if accept st Lexer.And_op then Ast.And (lhs, parse_conj st) else lhs
+
+and parse_cond_atom st =
+  match (current st).token with
+  | Bang ->
+      advance st;
+      expect st Lexer.Lparen;
+      let c = parse_cond st in
+      expect st Lexer.Rparen;
+      Ast.Not c
+  | Lparen -> (
+      (* "(" is ambiguous between a parenthesized condition and a
+         parenthesized arithmetic sub-expression; speculate on the
+         condition reading and backtrack to the comparison reading. *)
+      let saved = st.cursor in
+      match
+        advance st;
+        let c = parse_cond st in
+        expect st Lexer.Rparen;
+        c
+      with
+      | c -> c
+      | exception Parse_error _ ->
+          st.cursor <- saved;
+          parse_comparison st)
+  | _ -> parse_comparison st
+
+and parse_comparison st =
+  let lhs = parse_expr_prec st in
+  match cmpop_of_token (current st).token with
+  | Some op ->
+      advance st;
+      Ast.Cmp (op, lhs, parse_expr_prec st)
+  | None ->
+      fail st "expected a comparison operator, found %s"
+        (Lexer.token_to_string (current st).token)
+
+let rec parse_stmt_one st =
+  match (current st).token with
+  | For ->
+      advance st;
+      let index = expect_ident st in
+      expect st Lexer.Assign_op;
+      let lo = parse_expr_prec st in
+      expect st Lexer.To;
+      let hi = parse_expr_prec st in
+      let step = if accept st Lexer.Step then expect_int st else 1 in
+      let body = parse_block st in
+      Ast.For { index; lo; hi; step; body }
+  | If ->
+      advance st;
+      let c = parse_cond st in
+      let then_ = parse_block st in
+      let else_ =
+        if accept st Lexer.Else then Some (parse_block st) else None
+      in
+      Ast.If (c, then_, else_)
+  | Ident name ->
+      advance st;
+      let rec indices acc =
+        if accept st Lexer.Lbracket then begin
+          let e = parse_expr_prec st in
+          expect st Lexer.Rbracket;
+          indices (e :: acc)
+        end
+        else List.rev acc
+      in
+      let idx = indices [] in
+      expect st Lexer.Assign_op;
+      let rhs = parse_expr_prec st in
+      expect st Lexer.Semicolon;
+      let lhs =
+        if idx = [] then Ast.Scalar_lhs name else Ast.Array_lhs (name, idx)
+      in
+      Ast.Assign (lhs, rhs)
+  | t -> fail st "expected a statement, found %s" (Lexer.token_to_string t)
+
+and parse_block st =
+  expect st Lexer.Lbrace;
+  let rec loop acc =
+    if (current st).token = Lexer.Rbrace then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (parse_stmt_one st :: acc)
+  in
+  Ast.seq (loop [])
+
+let parse_decls st =
+  let arrays = ref [] in
+  let scalars = ref [] in
+  let rec loop () =
+    match (current st).token with
+    | Array ->
+        advance st;
+        let name = expect_ident st in
+        let rec dims acc =
+          if accept st Lexer.Lbracket then begin
+            let e = parse_expr_prec st in
+            expect st Lexer.Rbracket;
+            dims (e :: acc)
+          end
+          else List.rev acc
+        in
+        let dims = dims [] in
+        if dims = [] then fail st "array %s needs at least one dimension" name;
+        expect st Lexer.Semicolon;
+        arrays := { Ast.array_name = name; dims } :: !arrays;
+        loop ()
+    | Scalar ->
+        advance st;
+        let name = expect_ident st in
+        expect st Lexer.Semicolon;
+        scalars := name :: !scalars;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  (List.rev !arrays, List.rev !scalars)
+
+let parse_kernel_state st =
+  expect st Lexer.Kernel;
+  let name = expect_ident st in
+  expect st Lexer.Lparen;
+  let rec params acc =
+    match (current st).token with
+    | Rparen ->
+        advance st;
+        List.rev acc
+    | _ ->
+        let p = expect_ident st in
+        expect st Lexer.Assign_op;
+        let value = expect_int st in
+        let acc = (p, value) :: acc in
+        if accept st Lexer.Comma then params acc
+        else begin
+          expect st Lexer.Rparen;
+          List.rev acc
+        end
+  in
+  let params = params [] in
+  expect st Lexer.Lbrace;
+  let arrays, scalars = parse_decls st in
+  let rec stmts acc =
+    if (current st).token = Lexer.Rbrace then begin
+      advance st;
+      List.rev acc
+    end
+    else stmts (parse_stmt_one st :: acc)
+  in
+  let body = Ast.seq (stmts []) in
+  let kernel = { Ast.kernel_name = name; params; arrays; scalars; body } in
+  (match Ast.validate kernel with
+  | Ok () -> ()
+  | Error err ->
+      fail st "invalid kernel: %a" Ast.pp_validation_error err);
+  kernel
+
+let with_tokens src f =
+  let st = { tokens = Lexer.tokenize src; cursor = 0 } in
+  let result = f st in
+  (match (current st).token with
+  | Eof -> ()
+  | t -> fail st "trailing input starting at %s" (Lexer.token_to_string t));
+  result
+
+let parse_kernel src = with_tokens src parse_kernel_state
+let parse_expr src = with_tokens src parse_expr_prec
+
+let parse_stmt src =
+  with_tokens src (fun st ->
+      let rec loop acc =
+        if (current st).token = Lexer.Eof then List.rev acc
+        else loop (parse_stmt_one st :: acc)
+      in
+      Ast.seq (loop []))

@@ -1,0 +1,34 @@
+(** Recursive-descent parser for the kernel DSL.
+
+    Grammar (informal):
+    {v
+    kernel  ::= "kernel" IDENT "(" [param ("," param)*] ")" "{" decl* stmt* "}"
+    param   ::= IDENT "=" INT
+    decl    ::= "array" IDENT ("[" expr "]")+ ";"
+              | "scalar" IDENT ";"
+    stmt    ::= lhs "=" expr ";"
+              | "for" IDENT "=" expr "to" expr ["step" INT] "{" stmt* "}"
+              | "if" cond "{" stmt* "}" ["else" "{" stmt* "}"]
+    expr    ::= term (("+" | "-") term)*
+    term    ::= factor (("*" | "/" | "%/" | "%") factor)*
+    factor  ::= INT | FLOAT | IDENT ("[" expr "]")*
+              | "(" expr ")" | "-" factor | "sqrt" "(" expr ")"
+    cond    ::= conj ("||" conj)*
+    conj    ::= atom ("&&" atom)*
+    atom    ::= "!" "(" cond ")" | "(" cond ")" | expr cmp expr
+    v}
+
+    Comments start with [#] and run to end of line. *)
+
+exception Parse_error of string * Lexer.position
+
+val parse_kernel : string -> Ast.kernel
+(** Parse a full kernel definition.  The result is additionally passed
+    through {!Ast.validate}; validation failures are reported as
+    {!Parse_error}. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (used by tests). *)
+
+val parse_stmt : string -> Ast.stmt
+(** Parse a standalone statement (used by tests). *)

@@ -1,0 +1,128 @@
+let binop_string (op : Ast.binop) =
+  match op with
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Idiv -> "%/"
+  | Mod -> "%"
+  | Min | Max -> assert false (* printed as function calls *)
+
+let cmpop_string (op : Ast.cmpop) =
+  match op with
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+(* Precedence levels: higher binds tighter.  Parentheses are emitted
+   whenever a child has strictly lower precedence (or equal, for the
+   non-associative right operand of - / %). *)
+let binop_prec (op : Ast.binop) =
+  match op with
+  | Add | Sub -> 1
+  | Mul | Div | Idiv | Mod -> 2
+  | Min | Max -> 3
+
+let rec pp_expr_prec prec ppf (e : Ast.expr) =
+  match e with
+  | Int_lit n -> Format.fprintf ppf "%d" n
+  | Float_lit x ->
+      (* %h or %g: keep it parseable; force a dot or exponent so the lexer
+         reads it back as a float. *)
+      let s = Printf.sprintf "%.17g" x in
+      if String.contains s '.' || String.contains s 'e' then
+        Format.pp_print_string ppf s
+      else Format.fprintf ppf "%s.0" s
+  | Var x -> Format.pp_print_string ppf x
+  | Index (a, indices) ->
+      Format.pp_print_string ppf a;
+      List.iter (fun e -> Format.fprintf ppf "[%a]" (pp_expr_prec 0) e) indices
+  | Binop ((Min | Max) as op, a, b) ->
+      let name = match op with Ast.Min -> "min" | _ -> "max" in
+      Format.fprintf ppf "%s(%a, %a)" name (pp_expr_prec 0) a (pp_expr_prec 0)
+        b
+  | Binop (op, a, b) ->
+      let p = binop_prec op in
+      let needs_paren = p < prec in
+      if needs_paren then Format.pp_print_char ppf '(';
+      Format.fprintf ppf "%a %s %a" (pp_expr_prec p) a (binop_string op)
+        (pp_expr_prec (p + 1))
+        b;
+      if needs_paren then Format.pp_print_char ppf ')'
+  | Neg a -> Format.fprintf ppf "(-%a)" (pp_expr_prec 3) a
+  | Sqrt a -> Format.fprintf ppf "sqrt(%a)" (pp_expr_prec 0) a
+
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let rec pp_cond_prec prec ppf (c : Ast.cond) =
+  match c with
+  | Cmp (op, a, b) ->
+      Format.fprintf ppf "%a %s %a" pp_expr a (cmpop_string op) pp_expr b
+  | And (a, b) ->
+      if prec > 2 then
+        Format.fprintf ppf "(%a && %a)" (pp_cond_prec 2) a (pp_cond_prec 2) b
+      else
+        Format.fprintf ppf "%a && %a" (pp_cond_prec 2) a (pp_cond_prec 2) b
+  | Or (a, b) ->
+      if prec > 1 then
+        Format.fprintf ppf "(%a || %a)" (pp_cond_prec 1) a (pp_cond_prec 1) b
+      else
+        Format.fprintf ppf "%a || %a" (pp_cond_prec 1) a (pp_cond_prec 1) b
+  | Not a -> Format.fprintf ppf "!(%a)" (pp_cond_prec 0) a
+
+let pp_cond ppf c = pp_cond_prec 0 ppf c
+
+let pp_lhs ppf (l : Ast.lhs) =
+  match l with
+  | Scalar_lhs x -> Format.pp_print_string ppf x
+  | Array_lhs (a, indices) ->
+      Format.pp_print_string ppf a;
+      List.iter (fun e -> Format.fprintf ppf "[%a]" pp_expr e) indices
+
+let rec pp_stmt ppf (s : Ast.stmt) =
+  match s with
+  | Assign (l, e) -> Format.fprintf ppf "@[<h>%a = %a;@]" pp_lhs l pp_expr e
+  | Seq ss ->
+      Format.pp_open_vbox ppf 0;
+      List.iteri
+        (fun i s ->
+          if i > 0 then Format.pp_print_cut ppf ();
+          pp_stmt ppf s)
+        ss;
+      Format.pp_close_box ppf ()
+  | For { index; lo; hi; step; body } ->
+      if step = 1 then
+        Format.fprintf ppf "@[<v 2>for %s = %a to %a {@,%a@]@,}" index pp_expr
+          lo pp_expr hi pp_stmt body
+      else
+        Format.fprintf ppf "@[<v 2>for %s = %a to %a step %d {@,%a@]@,}" index
+          pp_expr lo pp_expr hi step pp_stmt body
+  | If (c, t, None) ->
+      Format.fprintf ppf "@[<v 2>if %a {@,%a@]@,}" pp_cond c pp_stmt t
+  | If (c, t, Some e) ->
+      Format.fprintf ppf "@[<v 2>if %a {@,%a@]@,} else {@,@[<v 2>  %a@]@,}"
+        pp_cond c pp_stmt t pp_stmt e
+
+let pp_kernel ppf (k : Ast.kernel) =
+  Format.fprintf ppf "@[<v 2>kernel %s(" k.kernel_name;
+  List.iteri
+    (fun i (name, value) ->
+      if i > 0 then Format.pp_print_string ppf ", ";
+      Format.fprintf ppf "%s = %d" name value)
+    k.params;
+  Format.fprintf ppf ") {@,";
+  List.iter
+    (fun (d : Ast.array_decl) ->
+      Format.fprintf ppf "array %s" d.array_name;
+      List.iter (fun e -> Format.fprintf ppf "[%a]" pp_expr e) d.dims;
+      Format.fprintf ppf ";@,")
+    k.arrays;
+  List.iter (fun s -> Format.fprintf ppf "scalar %s;@," s) k.scalars;
+  pp_stmt ppf k.body;
+  Format.fprintf ppf "@]@,}@."
+
+let to_string k = Format.asprintf "%a" pp_kernel k
+let stmt_to_string s = Format.asprintf "%a" pp_stmt s

@@ -1,0 +1,10 @@
+(** Pretty-printing of kernels back to the textual DSL accepted by
+    {!Parser}.  [Parser.parse_kernel (to_string k)] round-trips any valid
+    kernel, which the test suite checks by property. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_cond : Format.formatter -> Ast.cond -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_kernel : Format.formatter -> Ast.kernel -> unit
+val to_string : Ast.kernel -> string
+val stmt_to_string : Ast.stmt -> string

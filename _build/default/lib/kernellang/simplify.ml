@@ -1,0 +1,131 @@
+(* Integer-only folding: float literals are left untouched except for
+   exact identities, so evaluation order and rounding never change. *)
+
+let rec expr (e : Ast.expr) : Ast.expr =
+  match e with
+  | Int_lit _ | Float_lit _ | Var _ -> e
+  | Index (a, subs) -> Index (a, List.map expr subs)
+  | Neg a -> (
+      match expr a with
+      | Int_lit n -> Int_lit (-n)
+      | Neg inner -> inner
+      | a' -> Neg a')
+  | Sqrt a -> Sqrt (expr a)
+  | Binop (op, a, b) -> binop op (expr a) (expr b)
+
+and binop op (a : Ast.expr) (b : Ast.expr) : Ast.expr =
+  match (op, a, b) with
+  (* Constant folding on integers. *)
+  | Ast.Add, Int_lit x, Int_lit y -> Int_lit (x + y)
+  | Sub, Int_lit x, Int_lit y -> Int_lit (x - y)
+  | Mul, Int_lit x, Int_lit y -> Int_lit (x * y)
+  | Idiv, Int_lit x, Int_lit y when y <> 0 -> Int_lit (x / y)
+  | Mod, Int_lit x, Int_lit y when y <> 0 -> Int_lit (x mod y)
+  | Min, Int_lit x, Int_lit y -> Int_lit (min x y)
+  | Max, Int_lit x, Int_lit y -> Int_lit (max x y)
+  (* Additive and multiplicative identities. *)
+  | Add, Int_lit 0, e | Add, e, Int_lit 0 -> e
+  | Sub, e, Int_lit 0 -> e
+  | Mul, Int_lit 1, e | Mul, e, Int_lit 1 -> e
+  | Mul, (Int_lit 0 as z), _ | Mul, _, (Int_lit 0 as z) -> z
+  | Idiv, e, Int_lit 1 -> e
+  (* x - x and min/max of equal subtrees. *)
+  | Sub, x, y when x = y -> Int_lit 0
+  | (Min | Max), x, y when x = y -> x
+  (* Reassociate (e + c1) + c2 -> e + (c1+c2), also for Sub tails. *)
+  | Add, Binop (Add, e, Int_lit c1), Int_lit c2 ->
+      binop Add e (Int_lit (c1 + c2))
+  | Add, Binop (Sub, e, Int_lit c1), Int_lit c2 ->
+      binop Sub e (Int_lit (c1 - c2))
+  | Sub, Binop (Add, e, Int_lit c1), Int_lit c2 ->
+      binop Add e (Int_lit (c1 - c2))
+  | Sub, Binop (Sub, e, Int_lit c1), Int_lit c2 ->
+      binop Sub e (Int_lit (c1 + c2))
+  | _ -> Binop (op, a, b)
+
+let literal_value (e : Ast.expr) =
+  match e with
+  | Int_lit n -> Some (float_of_int n)
+  | Float_lit x -> Some x
+  | Var _ | Index _ | Binop _ | Neg _ | Sqrt _ -> None
+
+let rec cond_value (c : Ast.cond) : bool option =
+  match c with
+  | Cmp (op, a, b) -> (
+      match (literal_value (expr a), literal_value (expr b)) with
+      | Some x, Some y ->
+          Some
+            (match op with
+            | Eq -> x = y
+            | Ne -> x <> y
+            | Lt -> x < y
+            | Le -> x <= y
+            | Gt -> x > y
+            | Ge -> x >= y)
+      | _ -> None)
+  | And (a, b) -> (
+      match (cond_value a, cond_value b) with
+      | Some false, _ | _, Some false -> Some false
+      | Some true, Some true -> Some true
+      | _ -> None)
+  | Or (a, b) -> (
+      match (cond_value a, cond_value b) with
+      | Some true, _ | _, Some true -> Some true
+      | Some false, Some false -> Some false
+      | _ -> None)
+  | Not a -> Option.map not (cond_value a)
+
+let rec cond (c : Ast.cond) : Ast.cond option =
+  match cond_value c with
+  | Some _ -> None
+  | None -> (
+      match c with
+      | Cmp (op, a, b) -> Some (Cmp (op, expr a, expr b))
+      | And (a, b) -> (
+          match (cond a, cond b) with
+          | Some a', Some b' -> Some (And (a', b'))
+          | None, rest | rest, None -> (
+              (* One side folded: if true, the other side remains; if
+                 false, cond_value above would have caught it. *)
+              match rest with Some r -> Some r | None -> None))
+      | Or (a, b) -> (
+          match (cond a, cond b) with
+          | Some a', Some b' -> Some (Or (a', b'))
+          | None, rest | rest, None -> (
+              match rest with Some r -> Some r | None -> None))
+      | Not a -> Option.map (fun a' -> Ast.Not a') (cond a))
+
+let rec stmt (s : Ast.stmt) : Ast.stmt =
+  match s with
+  | Assign (Scalar_lhs x, e) -> Assign (Scalar_lhs x, expr e)
+  | Assign (Array_lhs (a, subs), e) ->
+      Assign (Array_lhs (a, List.map expr subs), expr e)
+  | Seq ss -> Ast.seq (List.map stmt ss)
+  | For l -> (
+      let lo = expr l.lo and hi = expr l.hi in
+      match (lo, hi) with
+      | Int_lit a, Int_lit b when a > b -> Ast.seq []
+      | Int_lit a, Int_lit b when a = b ->
+          (* Single iteration: substitute and drop the loop. *)
+          stmt (Ast.subst ~var:l.index ~by:(Int_lit a) l.body)
+      | _ -> For { l with lo; hi; body = stmt l.body })
+  | If (c, t, e) -> (
+      match cond_value c with
+      | Some true -> stmt t
+      | Some false -> (
+          match e with Some e -> stmt e | None -> Ast.seq [])
+      | None -> (
+          let t' = stmt t and e' = Option.map stmt e in
+          match cond c with
+          | Some c' -> If (c', t', e')
+          | None -> assert false))
+
+let kernel (k : Ast.kernel) =
+  {
+    k with
+    body = stmt k.body;
+    arrays =
+      List.map
+        (fun (d : Ast.array_decl) -> { d with dims = List.map expr d.dims })
+        k.arrays;
+  }

@@ -1,0 +1,20 @@
+(** Constant folding and algebraic simplification.
+
+    The loop transformations generate symbolic bound expressions like
+    [0 + ((((N - 1) - 0) %/ 1 + 1) %/ 4 * 4 - 1) * 1]; this pass folds
+    constants and applies the safe identities ([e + 0], [e * 1],
+    [e %/ 1], [min(e, e)], double negation, constant conditions, loops
+    with statically empty ranges), yielding readable output from
+    [altune show] and slightly cheaper interpretation.  All rewrites are
+    semantics-preserving for the IR's pure expressions; the test suite
+    checks this by property against the reference interpreter. *)
+
+val expr : Ast.expr -> Ast.expr
+val cond : Ast.cond -> Ast.cond option
+(** [None] means the condition folded to a constant; use {!cond_value}. *)
+
+val cond_value : Ast.cond -> bool option
+(** [Some b] when the condition is statically [b]. *)
+
+val stmt : Ast.stmt -> Ast.stmt
+val kernel : Ast.kernel -> Ast.kernel

@@ -1,0 +1,1 @@
+lib/machine/cache_sim.ml: Altune_kernellang Array Hashtbl List

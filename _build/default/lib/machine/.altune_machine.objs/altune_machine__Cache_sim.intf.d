@@ -1,0 +1,1 @@
+lib/machine/cache_sim.mli: Altune_kernellang

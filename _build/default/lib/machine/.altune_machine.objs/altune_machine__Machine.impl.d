@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Altune_kernellang Array Float List Map

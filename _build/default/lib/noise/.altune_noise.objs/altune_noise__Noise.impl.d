@@ -1,0 +1,1 @@
+lib/noise/noise.ml: Altune_prng Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/noise/noise.mli: Altune_prng

@@ -1,0 +1,1 @@
+lib/report/report.ml: Array Buffer Float Fun List Printf String

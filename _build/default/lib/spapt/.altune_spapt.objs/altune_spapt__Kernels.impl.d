@@ -1,0 +1,1 @@
+lib/spapt/kernels.ml: Altune_kernellang List

@@ -1,0 +1,1 @@
+lib/spapt/kernels.mli: Altune_kernellang

@@ -1,0 +1,1 @@
+lib/spapt/spapt.ml: Altune_kernellang Altune_machine Altune_noise Altune_prng Altune_stats Array Hashtbl Kernels List Printf Result

@@ -1,0 +1,1 @@
+lib/spapt/spapt.mli: Altune_kernellang Altune_machine Altune_prng

@@ -1,0 +1,21 @@
+(** DSL sources of the 11 SPAPT kernels used in the paper's evaluation
+    (Balaprakash, Wild & Norris, ICCS 2012), re-expressed in the kernel IR.
+
+    Each kernel computes the same mathematical operation as its SPAPT
+    counterpart (dense linear algebra and stencils); default problem sizes
+    are chosen so the machine model places each benchmark in an
+    interesting regime (some memory-bound, some compute-bound) with
+    runtimes of the same order as the paper's.  Tests exercise the kernels
+    at small sizes through the reference interpreter. *)
+
+val source : string -> string
+(** [source name] is the DSL text for the named kernel.
+    Raises [Not_found] for unknown names. *)
+
+val kernel : string -> Altune_kernellang.Ast.kernel
+(** Parsed and validated kernel. *)
+
+val names : string list
+(** The 11 kernel names, in the paper's Table 1 order: adi, atax,
+    bicgkernel, correlation, dgemv3, gemver, hessian, jacobi, lu, mm,
+    mvt. *)

@@ -1,0 +1,72 @@
+(** The 11 SPAPT autotuning search problems used in the paper's
+    evaluation.
+
+    Each benchmark bundles a kernel, its tunable transformation knobs
+    (cache-tile sizes, register-tile / unroll-and-jam factors, unroll
+    factors — the parameter kinds of SPAPT), a machine model, and a
+    calibrated measurement-noise model.  A configuration is a point in the
+    integer knob space; measuring it once yields one noisy runtime sample,
+    exactly the operation whose count the paper minimizes. *)
+
+type knob =
+  | Tile of { loop : string; sizes : int array }
+      (** Cache-tile size chosen from [sizes] (1 = off).  Loops sharing a
+          [group] are tiled together into one rectangular tile nest. *)
+  | Jam of { loop : string; max_factor : int }
+      (** Register tiling by unroll-and-jam, factor in [1 .. max_factor]. *)
+  | Unroll of { loop : string; max_factor : int }
+      (** Plain unrolling, factor in [1 .. max_factor]. *)
+
+val knob_cardinality : knob -> int
+val knob_name : knob -> string
+
+type t
+(** A benchmark: immutable description plus a memo table of evaluated
+    configurations. *)
+
+val name : t -> string
+val kernel : t -> Altune_kernellang.Ast.kernel
+val knobs : t -> knob list
+val dim : t -> int
+(** Number of knobs = feature dimensionality. *)
+
+val space_size : t -> float
+(** Product of knob cardinalities. *)
+
+val create : ?machine:Altune_machine.Machine.config -> string -> t
+(** [create name] builds the named benchmark with its calibrated noise
+    model.  Raises [Not_found] for unknown names. *)
+
+val all : unit -> t list
+(** All 11 benchmarks, Table 1 order. *)
+
+val random_config : t -> Altune_prng.Rng.t -> int array
+(** Uniform configuration; entry [i] ranges over knob [i]'s values. *)
+
+val config_valid : t -> int array -> bool
+
+val transformed : t -> int array -> Altune_kernellang.Ast.kernel
+(** The kernel with the configuration's transformations applied.  Raises
+    [Invalid_argument] if the configuration is out of range; transformation
+    recipes are total over valid configurations. *)
+
+val features : t -> int array -> float array
+(** Scaled-and-centred feature vector (the paper's Section 4.5
+    normalization), deterministic per benchmark. *)
+
+val true_runtime : t -> int array -> float
+(** Deterministic machine-model runtime, memoized per configuration. *)
+
+val compile_seconds : t -> int array -> float
+(** Simulated compile cost of the configuration's binary. *)
+
+val noise_sigma : t -> int array -> float
+(** The configuration's relative noise level — the heteroskedastic field
+    (most configurations are quiet; a hash-derived lognormal tail makes
+    some extremely noisy, as in the paper's Table 2). *)
+
+val measure : t -> rng:Altune_prng.Rng.t -> run_index:int -> int array -> float
+(** One noisy runtime measurement, in seconds. *)
+
+val mean_runtime : t -> rng:Altune_prng.Rng.t -> n:int -> int array -> float
+(** Mean of [n] fresh measurements (the fixed sampling plan's label). *)

@@ -1,0 +1,67 @@
+let rank_all a b =
+  let n1 = Array.length a and n2 = Array.length b in
+  let tagged =
+    Array.append
+      (Array.map (fun x -> (x, `A)) a)
+      (Array.map (fun x -> (x, `B)) b)
+  in
+  Array.sort (fun (x, _) (y, _) -> Float.compare x y) tagged;
+  let n = n1 + n2 in
+  let ranks = Array.make n 0.0 in
+  (* Average ranks over tie groups; collect tie sizes for the variance
+     correction. *)
+  let ties = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && fst tagged.(!j + 1) = fst tagged.(!i) do
+      incr j
+    done;
+    let avg = float_of_int (!i + !j + 2) /. 2.0 in
+    for k = !i to !j do
+      ranks.(k) <- avg
+    done;
+    let t = !j - !i + 1 in
+    if t > 1 then ties := t :: !ties;
+    i := !j + 1
+  done;
+  (tagged, ranks, !ties)
+
+let mann_whitney_u a b =
+  let n1 = Array.length a and n2 = Array.length b in
+  if n1 = 0 || n2 = 0 then invalid_arg "Tests.mann_whitney_u: empty sample";
+  let tagged, ranks, ties = rank_all a b in
+  let r1 = ref 0.0 in
+  Array.iteri
+    (fun i (_, side) -> if side = `A then r1 := !r1 +. ranks.(i))
+    tagged;
+  let n1f = float_of_int n1 and n2f = float_of_int n2 in
+  let u1 = !r1 -. (n1f *. (n1f +. 1.0) /. 2.0) in
+  let nf = n1f +. n2f in
+  let mu = n1f *. n2f /. 2.0 in
+  let tie_term =
+    List.fold_left
+      (fun acc t ->
+        let tf = float_of_int t in
+        acc +. ((tf *. tf *. tf) -. tf))
+      0.0 ties
+  in
+  let sigma2 =
+    n1f *. n2f /. 12.0
+    *. (nf +. 1.0 -. (tie_term /. (nf *. (nf -. 1.0))))
+  in
+  let p =
+    if sigma2 <= 0.0 then 1.0
+    else begin
+      let z = (u1 -. mu) /. sqrt sigma2 in
+      2.0 *. (1.0 -. Distributions.normal_cdf (Float.abs z))
+    end
+  in
+  (u1, Float.min 1.0 p)
+
+let significantly_less ?(alpha = 0.05) a b =
+  let u1, p = mann_whitney_u a b in
+  let mu = float_of_int (Array.length a) *. float_of_int (Array.length b) /. 2.0 in
+  (* One-sided: halve the two-sided p, require U below its mean (a ranks
+     lower). *)
+  u1 < mu && p /. 2.0 < alpha

@@ -1,0 +1,16 @@
+(** Non-parametric hypothesis tests for comparing runtime samples, the
+    statistical companions of raced-profile selection: runtimes are
+    heavy-tailed, so rank tests beat t-tests for "is binary A faster than
+    binary B?" questions. *)
+
+val mann_whitney_u : float array -> float array -> float * float
+(** [mann_whitney_u a b] is [(u, p)]: the Mann-Whitney U statistic of the
+    first sample and the two-sided p-value under the normal approximation
+    (with tie correction).  Requires both samples non-empty; the
+    approximation needs roughly 8+ observations per side to be taken
+    seriously. *)
+
+val significantly_less : ?alpha:float -> float array -> float array -> bool
+(** [significantly_less a b] — are [a]'s values stochastically smaller
+    than [b]'s at level [alpha] (default 0.05)?  One-sided decision from
+    the U test. *)

@@ -1,0 +1,1 @@
+test/test_cache_sim.ml: Alcotest Altune_kernellang Altune_machine Float List Printf

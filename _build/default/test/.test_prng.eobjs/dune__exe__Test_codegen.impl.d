@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Altune_kernellang Array List Printf String

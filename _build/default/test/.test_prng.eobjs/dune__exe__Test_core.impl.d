@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Altune_core Altune_prng Array Float Hashtbl List Printf

@@ -1,0 +1,1 @@
+test/test_dependence.ml: Alcotest Altune_kernellang Format List String

@@ -1,0 +1,1 @@
+test/test_dynatree.ml: Alcotest Altune_dynatree Altune_prng Altune_stats Array Float Gen Hashtbl List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Altune_core Altune_experiments Altune_prng Altune_spapt Array Printf String Unix

@@ -1,0 +1,1 @@
+test/test_gp.ml: Alcotest Altune_core Altune_gp Altune_prng Array Float Gen List Printf QCheck QCheck_alcotest

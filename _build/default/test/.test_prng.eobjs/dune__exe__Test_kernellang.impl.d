@@ -1,0 +1,1 @@
+test/test_kernellang.ml: Alcotest Altune_kernellang Altune_prng Array Float Format Hashtbl List Printf QCheck QCheck_alcotest String

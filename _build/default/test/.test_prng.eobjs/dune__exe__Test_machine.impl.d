@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Altune_kernellang Altune_machine Float List Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_noise.ml: Alcotest Altune_noise Altune_prng Altune_stats Hashtbl List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Altune_prng Array Gen Int List QCheck QCheck_alcotest Set

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Altune_report Filename Gen List QCheck QCheck_alcotest String Sys

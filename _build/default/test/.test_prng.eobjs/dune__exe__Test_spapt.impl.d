@@ -1,0 +1,1 @@
+test/test_spapt.ml: Alcotest Altune_kernellang Altune_prng Altune_spapt Altune_stats Array Float Format Hashtbl List Printf QCheck QCheck_alcotest String

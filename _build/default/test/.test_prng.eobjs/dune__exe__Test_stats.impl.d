@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Altune_prng Altune_stats Array Float Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,252 @@
+(* Tests for the trace-driven cache simulator, including the validation
+   runs that check the analytic machine model's qualitative calls against
+   exact miss counts. *)
+
+module Cache_sim = Altune_machine.Cache_sim
+module Machine = Altune_machine.Machine
+module Analysis = Altune_kernellang.Analysis
+module Parser = Altune_kernellang.Parser
+module Transform = Altune_kernellang.Transform
+
+let ok = function
+  | Ok k -> k
+  | Error e -> Alcotest.failf "transform: %s" (Transform.error_to_string e)
+
+(* --- Single cache --- *)
+
+let test_cold_miss_then_hit () =
+  let c = Cache_sim.create_cache ~size_bytes:1024 ~line_bytes:64 ~ways:2 in
+  Alcotest.(check bool) "cold miss" false (Cache_sim.cache_access c 0);
+  Alcotest.(check bool) "hit" true (Cache_sim.cache_access c 0);
+  Alcotest.(check bool) "same line hits" true (Cache_sim.cache_access c 63);
+  Alcotest.(check bool) "next line misses" false (Cache_sim.cache_access c 64)
+
+let test_lru_eviction () =
+  (* 2-way, 64 B lines, 8 sets (1024 B): addresses 0, 512, 1024 all map to
+     set 0.  After touching 0 and 512, touching 1024 evicts the LRU (0). *)
+  let c = Cache_sim.create_cache ~size_bytes:1024 ~line_bytes:64 ~ways:2 in
+  ignore (Cache_sim.cache_access c 0);
+  ignore (Cache_sim.cache_access c 512);
+  ignore (Cache_sim.cache_access c 1024);
+  Alcotest.(check bool) "512 still resident" true
+    (Cache_sim.cache_access c 512);
+  Alcotest.(check bool) "1024 still resident" true
+    (Cache_sim.cache_access c 1024);
+  Alcotest.(check bool) "0 was evicted" false (Cache_sim.cache_access c 0)
+
+let test_lru_recency_update () =
+  let c = Cache_sim.create_cache ~size_bytes:1024 ~line_bytes:64 ~ways:2 in
+  ignore (Cache_sim.cache_access c 0);
+  ignore (Cache_sim.cache_access c 512);
+  ignore (Cache_sim.cache_access c 0) |> ignore;
+  (* 0 is now most recent; inserting 1024 evicts 512. *)
+  ignore (Cache_sim.cache_access c 1024);
+  Alcotest.(check bool) "0 survived" true (Cache_sim.cache_access c 0);
+  Alcotest.(check bool) "512 evicted" false (Cache_sim.cache_access c 512)
+
+let test_full_associativity_within_set () =
+  (* 4-way single-set cache: four conflicting lines all fit. *)
+  let c = Cache_sim.create_cache ~size_bytes:256 ~line_bytes:64 ~ways:4 in
+  List.iter (fun a -> ignore (Cache_sim.cache_access c a)) [ 0; 64; 128; 192 ];
+  List.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d resident" a)
+        true
+        (Cache_sim.cache_access c a))
+    [ 0; 64; 128; 192 ]
+
+let test_reset () =
+  let c = Cache_sim.create_cache ~size_bytes:1024 ~line_bytes:64 ~ways:2 in
+  ignore (Cache_sim.cache_access c 0);
+  Cache_sim.cache_reset c;
+  Alcotest.(check bool) "cold again" false (Cache_sim.cache_access c 0)
+
+let test_create_validation () =
+  let invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  invalid (fun () ->
+      Cache_sim.create_cache ~size_bytes:1000 ~line_bytes:64 ~ways:2);
+  invalid (fun () ->
+      Cache_sim.create_cache ~size_bytes:1024 ~line_bytes:64 ~ways:0);
+  invalid (fun () ->
+      Cache_sim.create_cache ~size_bytes:1024 ~line_bytes:64 ~ways:3)
+
+(* --- Hierarchy --- *)
+
+let test_hierarchy_counts () =
+  let h =
+    Cache_sim.create_hierarchy ~l1_bytes:1024 ~l2_bytes:4096 ~line_bytes:64
+      ~l1_ways:2 ~l2_ways:4 ()
+  in
+  (* Stream 64 distinct lines (4 KB): all miss L1 (1 KB) on first touch;
+     all miss L2 cold too. *)
+  for i = 0 to 63 do
+    Cache_sim.hierarchy_access h (i * 64)
+  done;
+  let s = Cache_sim.hierarchy_stats h in
+  Alcotest.(check int) "accesses" 64 s.accesses;
+  Alcotest.(check int) "l1 cold misses" 64 s.l1_misses;
+  Alcotest.(check int) "l2 cold misses" 64 s.l2_misses;
+  (* Second pass: fits L2 (4 KB), not L1. *)
+  for i = 0 to 63 do
+    Cache_sim.hierarchy_access h (i * 64)
+  done;
+  let s = Cache_sim.hierarchy_stats h in
+  Alcotest.(check int) "l2 absorbed the second pass" 64 s.l2_misses;
+  Alcotest.(check bool) "l1 missed again" true (s.l1_misses > 100)
+
+(* --- Kernel traces --- *)
+
+let mm n =
+  Parser.parse_kernel
+    (Printf.sprintf
+       {|
+kernel mm(N = %d) {
+  array A[N][N];
+  array B[N][N];
+  array C[N][N];
+  for i = 0 to N - 1 {
+    for j = 0 to N - 1 {
+      for k = 0 to N - 1 {
+        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+      }
+    }
+  }
+}
+|}
+       n)
+
+let simulate kernel =
+  let h = Cache_sim.create_hierarchy () in
+  Cache_sim.simulate_kernel h kernel
+
+let test_access_count_matches_analysis () =
+  let k = mm 24 in
+  let s = simulate k in
+  (* 4 accesses per innermost iteration. *)
+  Alcotest.(check int) "access count" (4 * 24 * 24 * 24) s.accesses
+
+let test_unit_stride_spatial_locality () =
+  (* A streaming kernel touches each line once: miss rate ~ 1/8 for
+     8-byte elements on 64-byte lines. *)
+  let k =
+    Parser.parse_kernel
+      {|
+kernel stream(N = 65536) {
+  array X[N];
+  for i = 0 to N - 1 {
+    X[i] = X[i] + 1.0;
+  }
+}
+|}
+  in
+  let s = simulate k in
+  let rate = float_of_int s.l1_misses /. float_of_int s.accesses in
+  (* Two accesses (read+write) per element, one line fill per 8 elements:
+     expected miss rate 1/16. *)
+  Alcotest.(check (float 0.005)) "spatial locality" (1.0 /. 16.0) rate
+
+let test_tiling_cuts_l1_misses () =
+  (* The validation run: the analytic model says tiling mm reduces memory
+     cost; the simulator must agree on actual miss counts. *)
+  let k = mm 64 in
+  let tiled = ok (Transform.tile_nest [ ("i", 16); ("j", 16); ("k", 16) ] k) in
+  let s_plain = simulate k in
+  let s_tiled = simulate tiled in
+  Alcotest.(check bool)
+    (Printf.sprintf "tiling cuts L1 misses (%d -> %d)" s_plain.l1_misses
+       s_tiled.l1_misses)
+    true
+    (float_of_int s_tiled.l1_misses < 0.5 *. float_of_int s_plain.l1_misses);
+  (* And the analytic model agrees on the direction. *)
+  let cost kern =
+    (Machine.estimate Machine.default (Analysis.analyze kern)).memory_cycles
+  in
+  Alcotest.(check bool) "analytic model agrees" true (cost tiled < cost k)
+
+let test_unroll_preserves_misses () =
+  (* Unrolling reorders nothing across iterations: essentially identical
+     miss counts. *)
+  let k = mm 32 in
+  let unrolled = ok (Transform.unroll ~index:"k" ~factor:4 k) in
+  let s0 = simulate k in
+  let s1 = simulate unrolled in
+  Alcotest.(check int) "same accesses" s0.accesses s1.accesses;
+  let rel =
+    Float.abs (float_of_int (s0.l1_misses - s1.l1_misses))
+    /. float_of_int (max 1 s0.l1_misses)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "miss counts close (%d vs %d)" s0.l1_misses s1.l1_misses)
+    true (rel < 0.05)
+
+let test_transpose_stride_misses () =
+  (* Column-major traversal of a big row-major array misses far more than
+     row-major traversal. *)
+  let row =
+    Parser.parse_kernel
+      {|
+kernel row(N = 512) {
+  array A[N][N];
+  for i = 0 to N - 1 {
+    for j = 0 to N - 1 {
+      A[i][j] = A[i][j] + 1.0;
+    }
+  }
+}
+|}
+  in
+  let col =
+    Parser.parse_kernel
+      {|
+kernel col(N = 512) {
+  array A[N][N];
+  for j = 0 to N - 1 {
+    for i = 0 to N - 1 {
+      A[i][j] = A[i][j] + 1.0;
+    }
+  }
+}
+|}
+  in
+  let s_row = simulate row and s_col = simulate col in
+  Alcotest.(check bool)
+    (Printf.sprintf "column order misses more (%d vs %d)" s_col.l1_misses
+       s_row.l1_misses)
+    true
+    (s_col.l1_misses > 4 * s_row.l1_misses)
+
+let () =
+  Alcotest.run "cache_sim"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "cold miss then hit" `Quick
+            test_cold_miss_then_hit;
+          Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "lru recency" `Quick test_lru_recency_update;
+          Alcotest.test_case "associativity" `Quick
+            test_full_associativity_within_set;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "validation" `Quick test_create_validation;
+        ] );
+      ( "hierarchy",
+        [ Alcotest.test_case "counts" `Quick test_hierarchy_counts ] );
+      ( "kernel traces",
+        [
+          Alcotest.test_case "access counts" `Quick
+            test_access_count_matches_analysis;
+          Alcotest.test_case "spatial locality" `Quick
+            test_unit_stride_spatial_locality;
+          Alcotest.test_case "tiling cuts misses" `Slow
+            test_tiling_cuts_l1_misses;
+          Alcotest.test_case "unroll preserves misses" `Slow
+            test_unroll_preserves_misses;
+          Alcotest.test_case "transpose strides" `Slow
+            test_transpose_stride_misses;
+        ] );
+    ]

@@ -1,0 +1,227 @@
+(* Tests for the exact Gaussian-process surrogate: regression quality,
+   uncertainty behaviour, ALC scores, and interchangeability with the
+   dynamic tree behind the Surrogate interface. *)
+
+module Gp = Altune_gp.Gp
+module Surrogate = Altune_core.Surrogate
+module Rng = Altune_prng.Rng
+
+let train_1d ?(n = 60) ?(noise = 0.05) ~seed f =
+  let rng = Rng.create ~seed in
+  let gp = Gp.create ~dim:1 () in
+  for _ = 1 to n do
+    let x = Rng.uniform rng in
+    Gp.observe gp [| x |] (f x +. Rng.normal ~sigma:noise rng)
+  done;
+  gp
+
+let test_fits_smooth_function () =
+  let f x = sin (6.0 *. x) in
+  let gp = train_1d ~seed:3 f in
+  List.iter
+    (fun x ->
+      let p = Gp.predict gp [| x |] in
+      if Float.abs (p.mean -. f x) > 0.15 then
+        Alcotest.failf "poor fit at %.2f: %.3f vs %.3f" x p.mean (f x))
+    [ 0.1; 0.3; 0.5; 0.7; 0.9 ]
+
+let test_uncertainty_grows_off_data () =
+  let gp = Gp.create ~dim:1 () in
+  let rng = Rng.create ~seed:5 in
+  (* Observations only in [0, 0.3]. *)
+  for _ = 1 to 40 do
+    let x = 0.3 *. Rng.uniform rng in
+    Gp.observe gp [| x |] (Rng.normal ~sigma:0.05 rng)
+  done;
+  let near = (Gp.predict gp [| 0.15 |]).variance in
+  let far = (Gp.predict gp [| 3.0 |]).variance in
+  Alcotest.(check bool)
+    (Printf.sprintf "far variance larger (%.4f < %.4f)" near far)
+    true (near < far)
+
+let test_empty_model_predicts_prior () =
+  let gp = Gp.create ~dim:2 () in
+  let p = Gp.predict gp [| 0.0; 0.0 |] in
+  Alcotest.(check (float 1e-9)) "prior mean" 0.0 p.mean;
+  Alcotest.(check bool) "prior variance positive" true (p.variance > 0.0)
+
+let test_interpolates_training_points_closely () =
+  let gp = Gp.create ~params:{ Gp.default_params with
+                               noise_variance = Some 1e-6 } ~dim:1 () in
+  List.iter
+    (fun (x, y) -> Gp.observe gp [| x |] y)
+    [ (0.0, 1.0); (0.5, 2.0); (1.0, 0.5) ];
+  List.iter
+    (fun (x, y) ->
+      let p = Gp.predict gp [| x |] in
+      Alcotest.(check (float 0.02)) (Printf.sprintf "at %.1f" x) y p.mean)
+    [ (0.0, 1.0); (0.5, 2.0); (1.0, 0.5) ]
+
+let test_alc_prefers_unexplored () =
+  let gp = Gp.create ~dim:1 () in
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 40 do
+    let x = 0.4 *. Rng.uniform rng in
+    Gp.observe gp [| x |] (Rng.normal ~sigma:0.05 rng)
+  done;
+  let refs = Array.init 50 (fun i -> [| float_of_int i /. 50.0 |]) in
+  let scores =
+    Gp.alc_scores gp ~candidates:[| [| 0.2 |]; [| 0.9 |] |] ~refs
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "unexplored wins (%.5f < %.5f)" scores.(0) scores.(1))
+    true
+    (scores.(0) < scores.(1))
+
+let test_alc_nonnegative_finite () =
+  let gp = train_1d ~seed:9 (fun x -> x) in
+  let refs = Array.init 30 (fun i -> [| float_of_int i /. 30.0 |]) in
+  let candidates = Array.init 10 (fun i -> [| float_of_int i /. 10.0 |]) in
+  Array.iter
+    (fun s ->
+      if s < 0.0 || not (Float.is_finite s) then
+        Alcotest.failf "bad ALC score %g" s)
+    (Gp.alc_scores gp ~candidates ~refs)
+
+let test_max_points_guard () =
+  let gp =
+    Gp.create ~params:{ Gp.default_params with max_points = 10 } ~dim:1 ()
+  in
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 50 do
+    Gp.observe gp [| Rng.uniform rng |] 0.0
+  done;
+  Alcotest.(check int) "capped" 10 (Gp.n_observations gp)
+
+let test_noise_hint_used () =
+  (* With a large noise hint, the GP should not chase individual noisy
+     points: predictions smooth out. *)
+  let rng = Rng.create ~seed:13 in
+  let make hint =
+    let gp = Gp.create ?noise_hint:hint ~dim:1 () in
+    let data_rng = Rng.copy rng in
+    for _ = 1 to 30 do
+      let x = Rng.uniform data_rng in
+      Gp.observe gp [| x |] (Rng.normal ~sigma:1.0 data_rng)
+    done;
+    gp
+  in
+  let smooth = make (Some 5.0) in
+  let sharp = make (Some 1e-6) in
+  (* Smoother model has predictions closer to the global mean (0). *)
+  let spread gp =
+    let acc = ref 0.0 in
+    for i = 0 to 20 do
+      let p = Gp.predict gp [| float_of_int i /. 20.0 |] in
+      acc := !acc +. Float.abs p.mean
+    done;
+    !acc
+  in
+  Alcotest.(check bool) "hint smooths" true (spread smooth < spread sharp)
+
+let test_surrogate_interface () =
+  (* Both models behind the same interface learn the same step function. *)
+  let check_factory factory name =
+    let rng = Rng.create ~seed:17 in
+    let m = factory ~noise_hint:(Some 0.01) ~rng ~dim:1 in
+    for _ = 1 to 150 do
+      let x = Rng.uniform rng in
+      let y = (if x < 0.5 then 1.0 else 3.0) +. Rng.normal ~sigma:0.1 rng in
+      Surrogate.observe m [| x |] y
+    done;
+    let low = (Surrogate.predict m [| 0.2 |]).mean in
+    let high = (Surrogate.predict m [| 0.8 |]).mean in
+    if not (low < 1.7 && high > 2.3) then
+      Alcotest.failf "%s failed to learn step: %.2f / %.2f" name low high
+  in
+  check_factory (Gp.factory ()) "gp";
+  check_factory (Surrogate.dynatree ~particles:100 ()) "dynatree"
+
+let test_learner_runs_with_gp () =
+  (* The full active-learning loop with the GP surrogate. *)
+  let module Learner = Altune_core.Learner in
+  let module Dataset = Altune_core.Dataset in
+  let problem =
+    {
+      Altune_core.Problem.name = "syn";
+      dim = 1;
+      space_size = 50.0;
+      random_config = (fun rng -> [| Rng.int rng 50 |]);
+      features = (fun c -> [| (float_of_int c.(0) -. 24.5) /. 14.4 |]);
+      measure =
+        (fun ~rng ~run_index c ->
+          ignore run_index;
+          let x = float_of_int c.(0) in
+          Float.max 0.001
+            (1.0 +. (0.002 *. (x -. 20.0) *. (x -. 20.0))
+            +. Rng.normal ~sigma:0.02 rng));
+      compile_seconds = (fun _ -> 0.01);
+    }
+  in
+  let dataset =
+    Dataset.generate problem ~rng:(Rng.create ~seed:19) ~n_configs:45
+      ~test_fraction:0.3 ~n_obs:5
+  in
+  let settings =
+    {
+      Learner.scaled_settings with
+      n_init = 3;
+      n_obs_init = 5;
+      n_candidates = 8;
+      n_max = 40;
+      eval_every = 10;
+      ref_size = 20;
+      model = Gp.factory ();
+    }
+  in
+  let o = Learner.run problem dataset settings ~rng:(Rng.create ~seed:21) in
+  Alcotest.(check bool) "finite rmse" true (Float.is_finite o.final_rmse);
+  let first = (List.hd o.curve).rmse in
+  Alcotest.(check bool)
+    (Printf.sprintf "learns (%.4f -> %.4f)" first o.final_rmse)
+    true
+    (o.final_rmse <= first)
+
+let prop_predictions_finite =
+  QCheck.Test.make ~name:"gp predictions finite" ~count:25
+    QCheck.(pair small_int (list_of_size (Gen.int_range 0 30)
+      (pair (float_bound_exclusive 1.0) (float_range (-3.0) 3.0))))
+    (fun (seed, data) ->
+      let gp = Gp.create ~dim:1 () in
+      List.iter (fun (x, y) -> Gp.observe gp [| x |] y) data;
+      ignore seed;
+      List.for_all
+        (fun q ->
+          let p = Gp.predict gp [| q |] in
+          Float.is_finite p.mean && Float.is_finite p.variance
+          && p.variance >= 0.0)
+        [ 0.0; 0.5; 1.0 ])
+
+let () =
+  Alcotest.run "gp"
+    [
+      ( "regression",
+        [
+          Alcotest.test_case "fits smooth function" `Quick
+            test_fits_smooth_function;
+          Alcotest.test_case "uncertainty off data" `Quick
+            test_uncertainty_grows_off_data;
+          Alcotest.test_case "empty model" `Quick
+            test_empty_model_predicts_prior;
+          Alcotest.test_case "interpolates" `Quick
+            test_interpolates_training_points_closely;
+          Alcotest.test_case "noise hint" `Quick test_noise_hint_used;
+          Alcotest.test_case "max points guard" `Quick test_max_points_guard;
+        ] );
+      ( "active learning",
+        [
+          Alcotest.test_case "alc prefers unexplored" `Quick
+            test_alc_prefers_unexplored;
+          Alcotest.test_case "alc sane" `Quick test_alc_nonnegative_finite;
+          Alcotest.test_case "surrogate interface" `Quick
+            test_surrogate_interface;
+          Alcotest.test_case "learner runs with gp" `Slow
+            test_learner_runs_with_gp;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_predictions_finite ]);
+    ]

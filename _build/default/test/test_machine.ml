@@ -1,0 +1,253 @@
+(* Tests for the analytic machine model: basic sanity, and the qualitative
+   response shapes the autotuning experiments rely on (tiling benefit,
+   unroll overhead reduction, spill cliffs, compile-time growth). *)
+
+module Parser = Altune_kernellang.Parser
+module Transform = Altune_kernellang.Transform
+module Analysis = Altune_kernellang.Analysis
+module Machine = Altune_machine.Machine
+
+let mm n =
+  Parser.parse_kernel
+    (Printf.sprintf
+       {|
+kernel mm(N = %d) {
+  array A[N][N];
+  array B[N][N];
+  array C[N][N];
+  for i = 0 to N - 1 {
+    for j = 0 to N - 1 {
+      for k = 0 to N - 1 {
+        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+      }
+    }
+  }
+}
+|}
+       n)
+
+let vec_scale n =
+  Parser.parse_kernel
+    (Printf.sprintf
+       {|
+kernel vs(N = %d) {
+  array X[N];
+  array Y[N];
+  for i = 0 to N - 1 {
+    Y[i] = 2.5 * X[i];
+  }
+}
+|}
+       n)
+
+let cfg = Machine.default
+let rt k = Machine.runtime_seconds cfg (Analysis.analyze k)
+
+let ok = function
+  | Ok k -> k
+  | Error e -> Alcotest.failf "transform failed: %s" (Transform.error_to_string e)
+
+let test_positive_finite () =
+  List.iter
+    (fun k ->
+      let t = rt k in
+      if not (Float.is_finite t) || t <= 0.0 then
+        Alcotest.failf "runtime not positive finite: %g" t)
+    [ mm 8; mm 64; mm 256; vec_scale 1024 ]
+
+let test_monotone_in_problem_size () =
+  Alcotest.(check bool) "mm grows with N" true (rt (mm 128) < rt (mm 256));
+  Alcotest.(check bool)
+    "vector grows with N" true
+    (rt (vec_scale 1024) < rt (vec_scale 1_000_000))
+
+let test_breakdown_adds_up () =
+  let b = Machine.estimate cfg (Analysis.analyze (mm 64)) in
+  let parts =
+    b.compute_cycles +. b.memory_cycles +. b.overhead_cycles
+    +. b.spill_penalty_cycles +. b.icache_penalty_cycles
+  in
+  Alcotest.(check bool)
+    "components close to total" true
+    (Float.abs (parts -. b.total_cycles) /. b.total_cycles < 0.01);
+  Alcotest.(check (float 1e-12))
+    "seconds = cycles / frequency"
+    (b.total_cycles /. (cfg.frequency_ghz *. 1e9))
+    b.seconds
+
+let test_unroll_reduces_overhead () =
+  (* Overhead-dominated loop: unrolling must strictly reduce the overhead
+     component. *)
+  let k = vec_scale 100_000 in
+  let base = Machine.estimate cfg (Analysis.analyze k) in
+  let unrolled =
+    Machine.estimate cfg
+      (Analysis.analyze (ok (Transform.unroll ~index:"i" ~factor:4 k)))
+  in
+  Alcotest.(check bool)
+    "overhead shrinks" true
+    (unrolled.overhead_cycles < 0.5 *. base.overhead_cycles);
+  Alcotest.(check bool)
+    "total improves" true
+    (unrolled.seconds < base.seconds)
+
+let test_extreme_unroll_spills () =
+  let k = vec_scale 100_000 in
+  let at factor =
+    Machine.estimate cfg
+      (Analysis.analyze (ok (Transform.unroll ~index:"i" ~factor k)))
+  in
+  let moderate = at 4 and extreme = at 64 in
+  Alcotest.(check bool)
+    "no spills at moderate factors" true
+    (moderate.spill_penalty_cycles = 0.0);
+  Alcotest.(check bool)
+    "spills at extreme factors" true
+    (extreme.spill_penalty_cycles > 0.0)
+
+let test_tiling_helps_large_mm () =
+  let k = mm 256 in
+  let tiled = ok (Transform.tile_nest [ ("i", 16); ("j", 16); ("k", 16) ] k) in
+  let speedup = rt k /. rt tiled in
+  if speedup < 2.0 then
+    Alcotest.failf "tiling speedup only %.2fx (expected > 2x)" speedup
+
+let test_tiling_memory_component () =
+  let k = mm 256 in
+  let tiled = ok (Transform.tile_nest [ ("i", 16); ("j", 16); ("k", 16) ] k) in
+  let b = Machine.estimate cfg (Analysis.analyze k) in
+  let bt = Machine.estimate cfg (Analysis.analyze tiled) in
+  Alcotest.(check bool)
+    "memory cycles shrink" true
+    (bt.memory_cycles < 0.5 *. b.memory_cycles)
+
+let test_tiling_has_sweet_spot () =
+  (* Tiny tiles pay overhead; huge tiles stop fitting in cache: runtime as
+     a function of tile size must not be monotone. *)
+  let k = mm 256 in
+  let at t = rt (ok (Transform.tile_nest [ ("i", t); ("j", t); ("k", t) ] k)) in
+  let t2 = at 2 and t16 = at 16 and t128 = at 128 in
+  Alcotest.(check bool) "2 worse than 16" true (t16 < t2);
+  Alcotest.(check bool) "128 worse than 16" true (t16 < t128)
+
+let test_tiling_useless_when_fits () =
+  (* For a matrix already resident in L1, tiling can only add overhead. *)
+  let k = mm 16 in
+  let tiled = ok (Transform.tile_nest [ ("i", 4); ("j", 4); ("k", 4) ] k) in
+  Alcotest.(check bool) "no benefit" true (rt tiled >= rt k)
+
+let test_icache_penalty_extreme_unroll () =
+  let k = vec_scale 100_000 in
+  let at factor =
+    Machine.estimate cfg
+      (Analysis.analyze (ok (Transform.unroll ~index:"i" ~factor k)))
+  in
+  Alcotest.(check bool)
+    "small body: no icache penalty" true
+    ((at 4).icache_penalty_cycles = 0.0);
+  Alcotest.(check bool)
+    "huge body: icache penalty" true
+    ((at 2048).icache_penalty_cycles > 0.0)
+
+let test_compile_time_grows () =
+  let k = mm 64 in
+  let t0 = Machine.compile_seconds cfg k in
+  let t1 =
+    Machine.compile_seconds cfg (ok (Transform.unroll ~index:"k" ~factor:16 k))
+  in
+  Alcotest.(check bool) "positive" true (t0 > 0.0);
+  Alcotest.(check bool) "unrolled compiles slower" true (t1 > t0)
+
+let test_ast_size () =
+  let k = Parser.parse_kernel "kernel t(N = 4) { array A[N]; A[0] = 1.0; }" in
+  Alcotest.(check bool) "small kernel, small size" true
+    (Machine.ast_size k < 20);
+  let k64 = mm 64 in
+  let unrolled = ok (Transform.unroll ~index:"k" ~factor:8 k64) in
+  Alcotest.(check bool) "unroll multiplies size" true
+    (Machine.ast_size unrolled > 4 * Machine.ast_size k64)
+
+let test_determinism () =
+  let k = mm 100 in
+  Alcotest.(check (float 0.0)) "same input same estimate" (rt k) (rt k)
+
+(* Property tests. *)
+
+let prop_runtime_positive_under_transform =
+  QCheck.Test.make ~name:"runtime stays positive and finite under transforms"
+    ~count:80
+    QCheck.(
+      triple (int_range 1 12) (int_range 1 32) (int_range 16 128))
+    (fun (unroll_factor, tile, n) ->
+      let k = mm n in
+      let k =
+        match Transform.tile_nest [ ("i", tile); ("j", tile) ] k with
+        | Ok k -> k
+        | Error _ -> k
+      in
+      let k =
+        match Transform.unroll ~index:"k" ~factor:unroll_factor k with
+        | Ok k -> k
+        | Error _ -> k
+      in
+      let t = rt k in
+      Float.is_finite t && t > 0.0)
+
+let prop_flops_invariant_runtime_bounded =
+  QCheck.Test.make
+    ~name:"transformed runtime within sane factor of baseline" ~count:50
+    QCheck.(pair (int_range 1 8) (int_range 1 16))
+    (fun (f, t) ->
+      let k = mm 64 in
+      let k' =
+        Result.bind (Transform.tile_nest [ ("j", t); ("k", t) ] k)
+          (Transform.unroll ~index:"k" ~factor:f)
+      in
+      match k' with
+      | Error _ -> true
+      | Ok k' ->
+          let r = rt k' /. rt k in
+          r > 0.05 && r < 20.0)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_runtime_positive_under_transform;
+        prop_flops_invariant_runtime_bounded ]
+  in
+  Alcotest.run "machine"
+    [
+      ( "sanity",
+        [
+          Alcotest.test_case "positive finite" `Quick test_positive_finite;
+          Alcotest.test_case "monotone in size" `Quick
+            test_monotone_in_problem_size;
+          Alcotest.test_case "breakdown adds up" `Quick
+            test_breakdown_adds_up;
+          Alcotest.test_case "deterministic" `Quick test_determinism;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "unroll reduces overhead" `Quick
+            test_unroll_reduces_overhead;
+          Alcotest.test_case "extreme unroll spills" `Quick
+            test_extreme_unroll_spills;
+          Alcotest.test_case "tiling helps large mm" `Quick
+            test_tiling_helps_large_mm;
+          Alcotest.test_case "tiling shrinks memory cycles" `Quick
+            test_tiling_memory_component;
+          Alcotest.test_case "tiling sweet spot" `Quick
+            test_tiling_has_sweet_spot;
+          Alcotest.test_case "tiling useless when resident" `Quick
+            test_tiling_useless_when_fits;
+          Alcotest.test_case "icache penalty" `Quick
+            test_icache_penalty_extreme_unroll;
+        ] );
+      ( "compile model",
+        [
+          Alcotest.test_case "compile time grows" `Quick
+            test_compile_time_grows;
+          Alcotest.test_case "ast size" `Quick test_ast_size;
+        ] );
+      ("properties", qsuite);
+    ]

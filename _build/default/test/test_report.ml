@@ -1,0 +1,134 @@
+(* Tests for the plain-text rendering library. *)
+
+module Report = Altune_report.Report
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    if i + nl > hl then false
+    else if String.sub haystack i nl = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let test_table_basic () =
+  let s =
+    Report.Table.render ~headers:[ "name"; "value" ]
+      ~rows:[ [ "alpha"; "1.5" ]; [ "beta"; "22.0" ] ]
+  in
+  Alcotest.(check bool) "has header" true (contains s "name");
+  Alcotest.(check bool) "has rule" true (contains s "---");
+  Alcotest.(check bool) "has rows" true
+    (contains s "alpha" && contains s "22.0");
+  (* Numeric column right-aligned: "1.5" should be padded on the left to
+     the width of "22.0"/"value". *)
+  Alcotest.(check bool) "right aligned" true (contains s "  1.5")
+
+let test_table_ragged_rows () =
+  let s =
+    Report.Table.render ~headers:[ "a"; "b"; "c" ] ~rows:[ [ "x" ]; [] ]
+  in
+  Alcotest.(check bool) "renders without error" true (String.length s > 0)
+
+let test_csv_escaping () =
+  let s =
+    Report.Csv.to_string ~header:[ "x"; "note" ]
+      ~rows:[ [ "1"; "has, comma" ]; [ "2"; "has \"quote\"" ] ]
+  in
+  Alcotest.(check bool) "comma quoted" true (contains s "\"has, comma\"");
+  Alcotest.(check bool) "quote doubled" true (contains s "\"\"quote\"\"")
+
+let test_csv_write_roundtrip () =
+  let path = Filename.temp_file "altune" ".csv" in
+  Report.Csv.write ~path ~header:[ "a" ] ~rows:[ [ "1" ]; [ "2" ] ];
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check (list string)) "contents" [ "a"; "1"; "2" ]
+    (List.rev !lines)
+
+let test_line_plot () =
+  let s =
+    Report.Plot.line ~title:"t" ~xlabel:"x" ~ylabel:"y"
+      [
+        ("s1", [ (0.0, 0.0); (1.0, 1.0) ]);
+        ("s2", [ (0.0, 1.0); (1.0, 0.0) ]);
+      ]
+  in
+  Alcotest.(check bool) "title" true (contains s "t");
+  Alcotest.(check bool) "glyph s1" true (contains s "*");
+  Alcotest.(check bool) "glyph s2" true (contains s "o");
+  Alcotest.(check bool) "legend" true (contains s "s1" && contains s "s2");
+  Alcotest.(check bool) "axis range" true (contains s "0 .. 1")
+
+let test_line_plot_empty () =
+  let s = Report.Plot.line ~title:"t" ~xlabel:"x" ~ylabel:"y" [ ("e", []) ] in
+  Alcotest.(check bool) "no data marker" true (contains s "(no data)")
+
+let test_line_plot_logx_filters () =
+  let s =
+    Report.Plot.line ~logx:true ~title:"t" ~xlabel:"x" ~ylabel:"y"
+      [ ("s", [ (0.0, 1.0); (10.0, 2.0); (100.0, 3.0) ]) ]
+  in
+  (* The zero-x point must be dropped, not crash the log scale. *)
+  Alcotest.(check bool) "renders" true (contains s "log x")
+
+let test_bars () =
+  let s = Report.Plot.bars ~title:"speedups" [ ("a", 2.0); ("b", 4.0) ] in
+  Alcotest.(check bool) "labels" true (contains s "a" && contains s "b");
+  Alcotest.(check bool) "bars drawn" true (contains s "####")
+
+let test_heat () =
+  let s =
+    Report.Plot.heat ~title:"h" ~xlabel:"x" ~ylabel:"y" ~rows:4 ~cols:6
+      (fun r c -> float_of_int (r * c))
+  in
+  Alcotest.(check bool) "max glyph" true (contains s "@");
+  Alcotest.(check bool) "scale note" true (contains s "scale")
+
+let test_formatting () =
+  Alcotest.(check string) "f3 small" "0.123" (Report.f3 0.1234);
+  Alcotest.(check string) "f3 integer" "42" (Report.f3 42.0);
+  Alcotest.(check string) "f3 tiny" "1.2e-05" (Report.f3 1.2e-5);
+  Alcotest.(check string) "sci" "3.78e+14" (Report.sci 3.78e14)
+
+let prop_table_never_raises =
+  QCheck.Test.make ~name:"table renders arbitrary cells" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 5)
+      (list_of_size (Gen.int_range 0 5) string))
+    (fun rows ->
+      let s = Report.Table.render ~headers:[ "h1"; "h2" ] ~rows in
+      String.length s >= 0)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "basic" `Quick test_table_basic;
+          Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "escaping" `Quick test_csv_escaping;
+          Alcotest.test_case "write roundtrip" `Quick
+            test_csv_write_roundtrip;
+        ] );
+      ( "plots",
+        [
+          Alcotest.test_case "line" `Quick test_line_plot;
+          Alcotest.test_case "line empty" `Quick test_line_plot_empty;
+          Alcotest.test_case "line logx" `Quick test_line_plot_logx_filters;
+          Alcotest.test_case "bars" `Quick test_bars;
+          Alcotest.test_case "heat" `Quick test_heat;
+        ] );
+      ( "formatting",
+        [ Alcotest.test_case "f3 and sci" `Quick test_formatting ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_table_never_raises ]);
+    ]
