@@ -4,6 +4,8 @@
 module Spapt = Altune_spapt.Spapt
 module Kernels = Altune_spapt.Kernels
 module Pretty = Altune_kernellang.Pretty
+module Lint = Altune_kernellang.Lint
+module Verify = Altune_kernellang.Verify
 module Drivers = Altune_experiments.Drivers
 module Scale = Altune_experiments.Scale
 module Adapter = Altune_experiments.Adapter
@@ -172,6 +174,79 @@ let show_cmd =
        ~doc:"Print a benchmark kernel, optionally after transformations.")
     term
 
+let check_cmd =
+  let samples_term =
+    Arg.(
+      value & opt int 3
+      & info [ "samples" ] ~docv:"N"
+          ~doc:
+            "Random configurations to audit per benchmark, in addition to \
+             the default configuration.")
+  in
+  let term =
+    Term.(
+      const (fun seed benchmarks samples ->
+          check_benchmarks benchmarks;
+          let samples = max 0 samples in
+          let names =
+            match benchmarks with Some ns -> ns | None -> Kernels.names
+          in
+          let failures = ref 0 in
+          List.iter
+            (fun name ->
+              let b = Spapt.create name in
+              let diags = Lint.lint (Spapt.kernel b) in
+              (match Lint.errors diags with
+              | [] ->
+                  Printf.printf "%-12s lint : ok (%d warnings, %d notes)\n"
+                    name
+                    (Lint.count Lint.Warning diags)
+                    (Lint.count Lint.Info diags)
+              | errs ->
+                  incr failures;
+                  Printf.printf "%-12s lint : %d error(s)\n" name
+                    (List.length errs);
+                  List.iter
+                    (fun d ->
+                      Printf.printf "  %s\n" (Lint.diagnostic_to_string d))
+                    errs);
+              let rng = Rng.create ~seed:(Hashtbl.hash (seed, name)) in
+              let configs =
+                Array.make (Spapt.dim b) 0
+                :: List.init samples (fun _ -> Spapt.random_config b rng)
+              in
+              let sound = ref 0 in
+              List.iter
+                (fun c ->
+                  let v = Spapt.verify_config b c in
+                  if Verify.ok v then incr sound
+                  else begin
+                    incr failures;
+                    print_string (Verify.verdict_to_string v);
+                    print_newline ()
+                  end)
+                configs;
+              Printf.printf "%-12s audit: %d/%d configurations sound\n" name
+                !sound (List.length configs))
+            names;
+          if !failures > 0 then begin
+            Printf.printf "check: %d failure(s)\n" !failures;
+            Stdlib.exit 1
+          end
+          else
+            print_endline
+              "check: all kernels lint clean and all audited recipes are \
+               sound")
+      $ seed_term $ benchmarks_term $ samples_term)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Lint every benchmark kernel and audit a sample of its \
+          transformation space for soundness (legality, dependence \
+          re-analysis, access counts, differential execution).")
+    term
+
 let tune_cmd =
   let term =
     Term.(
@@ -247,5 +322,6 @@ let () =
             ablation_cmd;
             list_cmd;
             show_cmd;
+            check_cmd;
             tune_cmd;
           ]))

@@ -144,6 +144,11 @@ and scale ~loop_indices n e =
       })
     (affine_of ~loop_indices e)
 
+let affine_view ~loop_indices e =
+  Option.map
+    (fun { coeffs; constant } -> (coeffs, constant))
+    (affine_of ~loop_indices e)
+
 (* --- Per-dimension dependence tests --- *)
 
 (* What one subscript pair tells us.  [Exact (coeffs, delta)] is a linear
@@ -359,7 +364,13 @@ let dependences (k : Ast.kernel) =
               | true, true -> Output
               | true, false -> Flow
               | false, true -> Anti
-              | false, false -> assert false
+              | false, false ->
+                  invalid_arg
+                    (Printf.sprintf
+                       "Dependence.dependences: read/read pair on array %s \
+                        reached dependence classification (the pair filter \
+                        requires at least one write)"
+                       a1.array)
             in
             let dirs = propagate_bound_eq parents dirs in
             let ordered = order_directions a1.loops dirs in
@@ -426,7 +437,12 @@ let expansions dirs =
         | (_, Eq) :: rest -> lead rest
         | (_, Lt) :: _ -> true
         | (_, Gt) :: _ -> false
-        | (_, Star) :: _ -> assert false
+        | (l, Star) :: _ ->
+            invalid_arg
+              (Printf.sprintf
+                 "Dependence.expansions: direction for loop %s is still Star \
+                  after expansion (expansion must substitute every Star)"
+                 l)
       in
       lead v
     in

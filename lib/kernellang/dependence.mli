@@ -31,6 +31,13 @@ type dependence = {
 
 val pp_dependence : Format.formatter -> dependence -> unit
 
+val affine_view :
+  loop_indices:string list -> Ast.expr -> ((string * int) list * int) option
+(** [affine_view ~loop_indices e] is [Some (coeffs, constant)] when [e] is
+    affine in the listed loop indices (variables outside the list make the
+    expression non-affine: they are opaque to subscript analysis), [None]
+    otherwise.  Shared with {!Lint}'s affine-access classification. *)
+
 val dependences : Ast.kernel -> dependence list
 (** All loop-carried or loop-independent dependences between array
     accesses in the kernel, one entry per (access pair, array).

@@ -118,7 +118,13 @@ let rec stmt (s : Ast.stmt) : Ast.stmt =
           let t' = stmt t and e' = Option.map stmt e in
           match cond c with
           | Some c' -> If (c', t', e')
-          | None -> assert false))
+          | None ->
+              invalid_arg
+                (Format.asprintf
+                   "Simplify.stmt: condition %a folded to a constant even \
+                    though cond_value could not evaluate it; cond and \
+                    cond_value disagree"
+                   Pretty.pp_cond c)))
 
 let kernel (k : Ast.kernel) =
   {

@@ -1,5 +1,6 @@
 module Ast = Altune_kernellang.Ast
 module Transform = Altune_kernellang.Transform
+module Verify = Altune_kernellang.Verify
 module Analysis = Altune_kernellang.Analysis
 module Machine = Altune_machine.Machine
 module Noise = Altune_noise.Noise
@@ -291,7 +292,7 @@ let knob_value k raw =
   | Tile { sizes; _ } -> sizes.(raw)
   | Jam _ | Unroll _ -> raw + 1
 
-let transformed t config =
+let recipe t config =
   check_config t config;
   let values =
     List.mapi (fun i k -> (k, knob_value k config.(i))) t.spec.knobs
@@ -306,40 +307,68 @@ let transformed t config =
     | Some (_, v) -> v
     | None -> 1
   in
-  let result =
-    List.fold_left
-      (fun acc nest ->
-        Result.bind acc
-          (Transform.tile_nest (List.map (fun l -> (l, tile_size l)) nest)))
-      (Ok t.kernel) t.spec.tile_nests
+  (* Identity steps (factor 1, all-1 tile nests) are dropped rather than
+     applied as no-ops, so an audit only sees steps that change the
+     kernel. *)
+  let tiles =
+    List.filter_map
+      (fun nest ->
+        let spec = List.map (fun l -> (l, tile_size l)) nest in
+        if List.for_all (fun (_, s) -> s = 1) spec then None
+        else Some (Verify.Tile_nest spec))
+      t.spec.tile_nests
   in
-  let result =
-    (* Jams innermost-first (knob lists are outermost-first): jamming an
-       outer loop absorbs the already-jammed inner loop's body whole. *)
-    List.fold_left
-      (fun acc (k, v) ->
+  (* Jams innermost-first (knob lists are outermost-first): jamming an
+     outer loop absorbs the already-jammed inner loop's body whole. *)
+  let jams =
+    List.filter_map
+      (fun (k, v) ->
         match k with
-        | Jam { loop; _ } ->
-            Result.bind acc (Transform.unroll_and_jam ~index:loop ~factor:v)
-        | Tile _ | Unroll _ -> acc)
-      result (List.rev values)
+        | Jam { loop; _ } when v > 1 ->
+            Some (Verify.Unroll_and_jam { index = loop; factor = v })
+        | Tile _ | Jam _ | Unroll _ -> None)
+      (List.rev values)
   in
-  let result =
-    List.fold_left
-      (fun acc (k, v) ->
+  let unrolls =
+    List.filter_map
+      (fun (k, v) ->
         match k with
-        | Unroll { loop; _ } ->
-            Result.bind acc (Transform.unroll ~index:loop ~factor:v)
-        | Tile _ | Jam _ -> acc)
-      result values
+        | Unroll { loop; _ } when v > 1 ->
+            Some (Verify.Unroll { index = loop; factor = v })
+        | Tile _ | Jam _ | Unroll _ -> None)
+      values
   in
-  match result with
+  tiles @ jams @ unrolls
+
+let transformed t config =
+  match Verify.apply_steps (recipe t config) t.kernel with
   | Ok k -> k
   | Error e ->
       invalid_arg
         (Printf.sprintf "Spapt %s: transformation recipe failed: %s"
            t.bench_name
            (Transform.error_to_string e))
+
+(* Problem sizes small enough for interpreter-based soundness checks;
+   the test suite uses the same table. *)
+let small_params t =
+  match t.bench_name with
+  | "adi" -> [ ("N", 7); ("T", 2) ]
+  | "atax" | "bicgkernel" | "dgemv3" | "gemver" | "mvt" ->
+      [ ("N", 9); ("T", 2) ]
+  | "correlation" -> [ ("M", 8); ("N", 7); ("T", 1) ]
+  | "hessian" | "jacobi" -> [ ("N", 8); ("T", 2) ]
+  | "lu" | "mm" -> [ ("N", 7); ("T", 1) ]
+  | _ -> []
+
+let verify_config t config =
+  let subject =
+    Printf.sprintf "%s [%s]" t.bench_name
+      (String.concat "," (List.map string_of_int (Array.to_list config)))
+  in
+  Verify.run
+    ~param_overrides:(small_params t)
+    ~subject t.kernel (recipe t config)
 
 let features t config =
   check_config t config;

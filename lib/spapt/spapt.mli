@@ -45,10 +45,25 @@ val random_config : t -> Altune_prng.Rng.t -> int array
 
 val config_valid : t -> int array -> bool
 
+val recipe : t -> int array -> Altune_kernellang.Verify.step list
+(** The configuration's transformation steps in application order (tile
+    nests, then unroll-and-jams innermost-first, then unrolls), with
+    identity steps dropped.  Raises [Invalid_argument] if the
+    configuration is out of range. *)
+
 val transformed : t -> int array -> Altune_kernellang.Ast.kernel
-(** The kernel with the configuration's transformations applied.  Raises
+(** The kernel with the configuration's transformations applied —
+    [recipe] run through {!Altune_kernellang.Verify.apply_steps}.  Raises
     [Invalid_argument] if the configuration is out of range; transformation
     recipes are total over valid configurations. *)
+
+val small_params : t -> (string * int) list
+(** Problem-size overrides small enough for interpreter-based soundness
+    checks of this benchmark. *)
+
+val verify_config : t -> int array -> Altune_kernellang.Verify.verdict
+(** Independent step-by-step soundness audit of the configuration's
+    recipe ({!Altune_kernellang.Verify.run} at [small_params]). *)
 
 val features : t -> int array -> float array
 (** Scaled-and-centred feature vector (the paper's Section 4.5

@@ -9,7 +9,11 @@ let cholesky a =
       done;
       if i = j then begin
         if !s <= 0.0 then
-          failwith "Linalg.cholesky: matrix not positive definite";
+          failwith
+            (Printf.sprintf
+               "Linalg.cholesky: matrix not positive definite (pivot %d of \
+                %d is %g after elimination; expected > 0)"
+               i n !s);
         l.(i).(i) <- sqrt !s
       end
       else l.(i).(j) <- !s /. l.(j).(j)

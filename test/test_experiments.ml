@@ -52,6 +52,19 @@ let test_adapter () =
   let y = p.measure ~rng ~run_index:1 c in
   Alcotest.(check bool) "measure positive" true (y > 0.0)
 
+let test_adapter_verify_gate () =
+  (* With the gate on, a measurement first audits the configuration's
+     transformation recipe; a sound recipe measures normally. *)
+  let b = Spapt.create "mm" in
+  let p = Adapter.problem_of ~verify:true b in
+  let rng = Rng.create ~seed:2 in
+  let c = [| 1; 0; 0; 0; 1; 2 |] in
+  let y1 = p.measure ~rng ~run_index:1 c in
+  Alcotest.(check bool) "verified measure positive" true (y1 > 0.0);
+  (* Second measurement of the same config reuses the cached approval. *)
+  let y2 = p.measure ~rng ~run_index:2 c in
+  Alcotest.(check bool) "repeat measure positive" true (y2 > 0.0)
+
 let test_runs_cached () =
   Runs.clear_cache ();
   let b = Spapt.create "hessian" in
@@ -113,6 +126,8 @@ let () =
       ( "glue",
         [
           Alcotest.test_case "adapter" `Quick test_adapter;
+          Alcotest.test_case "adapter verify gate" `Quick
+            test_adapter_verify_gate;
           Alcotest.test_case "runs cached" `Slow test_runs_cached;
         ] );
       ( "drivers",

@@ -198,6 +198,39 @@ let test_invalid_config_rejected () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument"
 
+let test_kernels_lint_clean () =
+  (* Every benchmark kernel must pass the static verifier without errors,
+     at both default and interpreter-sized parameters. *)
+  let module Lint = Altune_kernellang.Lint in
+  List.iter
+    (fun name ->
+      let b = Spapt.create name in
+      List.iter
+        (fun overrides ->
+          match Lint.errors (Lint.lint ?param_overrides:overrides (Spapt.kernel b)) with
+          | [] -> ()
+          | errs ->
+              Alcotest.failf "%s: %d lint error(s); first: %s" name
+                (List.length errs)
+                (Lint.diagnostic_to_string (List.hd errs)))
+        [ None; Some (Spapt.small_params b) ])
+    all_names
+
+let test_recipes_audit_sound () =
+  (* Spot-check the full soundness audit (legality, lint, dependence
+     re-analysis, access counts, differential execution) on a random
+     configuration of a few benchmarks; `dune build @check` sweeps all. *)
+  let module Verify = Altune_kernellang.Verify in
+  let rng = Rng.create ~seed:91 in
+  List.iter
+    (fun name ->
+      let b = Spapt.create name in
+      let c = Spapt.random_config b rng in
+      let v = Spapt.verify_config b c in
+      if not (Verify.ok v) then
+        Alcotest.failf "%s: %s" name (Verify.verdict_to_string v))
+    [ "mm"; "hessian"; "atax" ]
+
 (* Property: recipes are total and validated over the whole space. *)
 let prop_recipe_total =
   QCheck.Test.make ~name:"recipes total over random configurations" ~count:80
@@ -226,6 +259,10 @@ let () =
             test_default_config_is_identity;
           Alcotest.test_case "random configs sound" `Slow
             test_random_configs_total_and_sound;
+          Alcotest.test_case "kernels lint clean" `Quick
+            test_kernels_lint_clean;
+          Alcotest.test_case "recipes audit sound" `Slow
+            test_recipes_audit_sound;
         ] );
       ( "measurement",
         [
