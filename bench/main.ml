@@ -3,21 +3,72 @@
    micro-benchmarks over the hot paths of the implementation.
 
    Run with: dune exec bench/main.exe
-   Pass --scale standard (or paper) for larger experiment scales, or a
-   subset of section names (table1 table2 fig1 fig2 fig5 fig6 ablation
-   micro) to run only those. *)
+   Pass --scale standard (or paper) for larger experiment scales,
+   --jobs N to fan experiments out over N domains (results are
+   bit-identical at any job count), --benchmarks a,b to restrict the
+   benchmark set, --progress for live per-task reporting, or a subset of
+   section names (table1 table2 fig1 fig2 fig5 fig6 ablation micro) to
+   run only those.  Per-section wall times are appended to
+   BENCH_harness.json so the performance trajectory is tracked. *)
 
 module Drivers = Altune_experiments.Drivers
 module Scale = Altune_experiments.Scale
+module Runs = Altune_experiments.Runs
+module Pool = Altune_exec.Pool
 
-let section name f =
+(* (section id, wall seconds) of every section run, for BENCH_harness.json. *)
+let timings : (string * float) list ref = ref []
+
+let section id name f =
   Printf.printf "==============================================================\n";
   Printf.printf "%s\n" name;
   Printf.printf "==============================================================\n%!";
   let t0 = Unix.gettimeofday () in
   print_string (f ());
-  Printf.printf "\n[%s regenerated in %.1fs wall time]\n\n%!" name
-    (Unix.gettimeofday () -. t0)
+  let dt = Unix.gettimeofday () -. t0 in
+  timings := (id, dt) :: !timings;
+  Printf.printf "\n[%s regenerated in %.1fs wall time]\n\n%!" name dt
+
+(* The file is a flat JSON array of {section, scale, jobs, seconds}
+   records; successive runs append rather than overwrite, so the
+   performance trajectory (across job counts, scales and commits) lives in
+   one machine-readable place.  Existing records are recovered line-wise —
+   the file is only ever written by this function, one record per line. *)
+let write_harness_json ~path ~scale ~jobs =
+  let existing =
+    if not (Sys.file_exists path) then []
+    else begin
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.length line > 3 && String.sub line 0 3 = "  {" then begin
+             let line =
+               if line.[String.length line - 1] = ',' then
+                 String.sub line 0 (String.length line - 1)
+               else line
+             in
+             lines := line :: !lines
+           end
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !lines
+    end
+  in
+  let fresh =
+    List.rev_map
+      (fun (id, dt) ->
+        Printf.sprintf
+          "  {\"section\": %S, \"scale\": %S, \"jobs\": %d, \"seconds\": %.3f}"
+          id scale jobs dt)
+      !timings
+  in
+  let records = existing @ fresh in
+  let oc = open_out path in
+  Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" records);
+  close_out oc
 
 (* --- Bechamel micro-benchmarks of the implementation's hot paths --- *)
 
@@ -173,6 +224,49 @@ let () =
     in
     find args
   in
+  let jobs =
+    let rec find = function
+      | ("--jobs" | "-j") :: n :: _ -> (
+          match int_of_string_opt n with
+          | Some j when j >= 1 -> j
+          | Some _ | None ->
+              Printf.eprintf "--jobs needs a positive integer, got %s\n" n;
+              exit 2)
+      | _ :: rest -> find rest
+      | [] -> Pool.default_jobs ()
+    in
+    find args
+  in
+  let benchmarks =
+    let rec find = function
+      | "--benchmarks" :: names :: _ ->
+          Some (String.split_on_char ',' names)
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    let known = Altune_spapt.Kernels.names in
+    Option.iter
+      (List.iter (fun n ->
+           if not (List.mem n known) then begin
+             Printf.eprintf "unknown benchmark %S; known: %s\n" n
+               (String.concat ", " known);
+             exit 2
+           end))
+      (find args);
+    find args
+  in
+  let progress = List.mem "--progress" args in
+  let on_event =
+    if not progress then None
+    else
+      Some
+        (function
+        | Pool.Task_started { label; _ } ->
+            Printf.eprintf "[pool] start  %s\n%!" label
+        | Pool.Task_finished { label; wall_seconds; _ } ->
+            Printf.eprintf "[pool] done   %s (%.1fs)\n%!" label wall_seconds)
+  in
+  Runs.set_jobs ?on_event jobs;
   let wanted name =
     let named =
       List.filter
@@ -188,29 +282,33 @@ let () =
   Printf.printf
     "altune benchmark harness — reproducing every table and figure of\n\
      'Minimizing the Cost of Iterative Compilation with Active Learning'\n\
-     (CGO 2017) at scale=%s, seed=%d.  Costs are simulated seconds; the\n\
-     shapes, not the absolute numbers, are the reproduction target.\n\n%!"
-    scale.Scale.label seed;
+     (CGO 2017) at scale=%s, seed=%d, jobs=%d.  Costs are simulated\n\
+     seconds; the shapes, not the absolute numbers, are the reproduction\n\
+     target.\n\n%!"
+    scale.Scale.label seed jobs;
   if wanted "fig1" then
-    section "Figure 1 (mm unroll plane: MAE and optimal samples)" (fun () ->
-        Drivers.fig1 ~scale ~seed ());
+    section "fig1" "Figure 1 (mm unroll plane: MAE and optimal samples)"
+      (fun () -> Drivers.fig1 ~scale ~seed ());
   if wanted "fig2" then
-    section "Figure 2 (adi runtime vs unroll factor)" (fun () ->
+    section "fig2" "Figure 2 (adi runtime vs unroll factor)" (fun () ->
         Drivers.fig2 ~scale ~seed ());
   if wanted "table2" then
-    section "Table 2 (noise spread across each space)" (fun () ->
-        Drivers.table2 ~scale ~seed ());
+    section "table2" "Table 2 (noise spread across each space)" (fun () ->
+        Drivers.table2 ?benchmarks ~scale ~seed ());
   if wanted "table1" then
-    section "Table 1 (lowest common error, cost, speed-up)" (fun () ->
-        Drivers.table1 ~scale ~seed ());
+    section "table1" "Table 1 (lowest common error, cost, speed-up)"
+      (fun () -> Drivers.table1 ?benchmarks ~scale ~seed ());
   if wanted "fig5" then
-    section "Figure 5 (profiling-cost reduction)" (fun () ->
-        Drivers.fig5 ~scale ~seed ());
+    section "fig5" "Figure 5 (profiling-cost reduction)" (fun () ->
+        Drivers.fig5 ?benchmarks ~scale ~seed ());
   if wanted "fig6" then
-    section "Figure 6 (error vs cost for three sampling plans)" (fun () ->
-        Drivers.fig6 ~scale ~seed ());
+    section "fig6" "Figure 6 (error vs cost for three sampling plans)"
+      (fun () -> Drivers.fig6 ?benchmarks ~scale ~seed ());
   if wanted "ablation" then
-    section "Ablation (design choices of the adaptive learner)" (fun () ->
-        Drivers.ablation ~scale ~seed ());
+    section "ablation" "Ablation (design choices of the adaptive learner)"
+      (fun () -> Drivers.ablation ~scale ~seed ());
   if wanted "micro" then
-    section "Micro-benchmarks (Bechamel)" (fun () -> run_micro ())
+    section "micro" "Micro-benchmarks (Bechamel)" (fun () -> run_micro ());
+  write_harness_json ~path:"BENCH_harness.json" ~scale:scale.Scale.label
+    ~jobs;
+  Printf.printf "[per-section wall times written to BENCH_harness.json]\n%!"

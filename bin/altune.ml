@@ -37,6 +37,25 @@ let seed_term =
     value & opt int 42
     & info [ "seed" ] ~docv:"SEED" ~doc:"Master random seed.")
 
+let jobs_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains for parallel experiment execution (default: the \
+           machine's recommended domain count minus one; 1 = sequential). \
+           Results are bit-identical at any job count.")
+
+let apply_jobs = function
+  | None -> ()
+  | Some j ->
+      if j < 1 then begin
+        Printf.eprintf "--jobs must be at least 1\n";
+        exit 2
+      end;
+      Runs.set_jobs j
+
 let benchmarks_term =
   Arg.(
     value
@@ -64,21 +83,23 @@ let check_benchmarks = function
 let simple_cmd name ~doc f =
   let term =
     Term.(
-      const (fun scale seed benchmarks ->
+      const (fun scale seed jobs benchmarks ->
           check_benchmarks benchmarks;
+          apply_jobs jobs;
           print_string (f ?benchmarks ~scale ~seed ());
           print_newline ())
-      $ scale_term $ seed_term $ benchmarks_term)
+      $ scale_term $ seed_term $ jobs_term $ benchmarks_term)
   in
   Cmd.v (Cmd.info name ~doc) term
 
 let nobench_cmd name ~doc f =
   let term =
     Term.(
-      const (fun scale seed ->
+      const (fun scale seed jobs ->
+          apply_jobs jobs;
           print_string (f ~scale ~seed ());
           print_newline ())
-      $ scale_term $ seed_term)
+      $ scale_term $ seed_term $ jobs_term)
   in
   Cmd.v (Cmd.info name ~doc) term
 
@@ -113,10 +134,11 @@ let fig6_cmd =
 let ablation_cmd =
   let term =
     Term.(
-      const (fun scale seed bench ->
+      const (fun scale seed jobs bench ->
+          apply_jobs jobs;
           print_string (Drivers.ablation ~bench ~scale ~seed ());
           print_newline ())
-      $ scale_term $ seed_term $ bench_term ~default:"gemver")
+      $ scale_term $ seed_term $ jobs_term $ bench_term ~default:"gemver")
   in
   Cmd.v
     (Cmd.info "ablation"
@@ -210,7 +232,9 @@ let check_cmd =
                     (fun d ->
                       Printf.printf "  %s\n" (Lint.diagnostic_to_string d))
                     errs);
-              let rng = Rng.create ~seed:(Hashtbl.hash (seed, name)) in
+              let rng =
+                Rng.create ~seed:(Rng.derive ~seed [ S "check"; S name ])
+              in
               let configs =
                 Array.make (Spapt.dim b) 0
                 :: List.init samples (fun _ -> Spapt.random_config b rng)

@@ -1,0 +1,79 @@
+type 'v state = In_progress | Ready of 'v
+
+type ('k, 'v) t = {
+  lock : Mutex.t;
+  done_cond : Condition.t;  (* a computation published or was dropped *)
+  tbl : ('k, 'v state) Hashtbl.t;
+}
+
+let create ?(size = 64) () =
+  {
+    lock = Mutex.create ();
+    done_cond = Condition.create ();
+    tbl = Hashtbl.create size;
+  }
+
+let find_or_compute t k compute =
+  Mutex.lock t.lock;
+  let rec acquire () =
+    match Hashtbl.find_opt t.tbl k with
+    | Some (Ready v) ->
+        Mutex.unlock t.lock;
+        v
+    | Some In_progress ->
+        Condition.wait t.done_cond t.lock;
+        acquire ()
+    | None -> (
+        Hashtbl.replace t.tbl k In_progress;
+        Mutex.unlock t.lock;
+        match compute () with
+        | v ->
+            Mutex.lock t.lock;
+            Hashtbl.replace t.tbl k (Ready v);
+            Condition.broadcast t.done_cond;
+            Mutex.unlock t.lock;
+            v
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Mutex.lock t.lock;
+            Hashtbl.remove t.tbl k;
+            Condition.broadcast t.done_cond;
+            Mutex.unlock t.lock;
+            Printexc.raise_with_backtrace e bt)
+  in
+  acquire ()
+
+let find_opt t k =
+  Mutex.lock t.lock;
+  let r =
+    match Hashtbl.find_opt t.tbl k with
+    | Some (Ready v) -> Some v
+    | Some In_progress | None -> None
+  in
+  Mutex.unlock t.lock;
+  r
+
+let mem t k = Option.is_some (find_opt t k)
+
+let clear t =
+  Mutex.lock t.lock;
+  (* Keep in-flight markers: their computers will publish under this same
+     lock and any current waiters still expect the value to appear. *)
+  let in_flight =
+    Hashtbl.fold
+      (fun k s acc -> match s with In_progress -> k :: acc | Ready _ -> acc)
+      t.tbl []
+  in
+  Hashtbl.reset t.tbl;
+  List.iter (fun k -> Hashtbl.replace t.tbl k In_progress) in_flight;
+  Mutex.unlock t.lock
+
+let length t =
+  Mutex.lock t.lock;
+  let n =
+    Hashtbl.fold
+      (fun _ s acc -> match s with Ready _ -> acc + 1 | In_progress -> acc)
+      t.tbl 0
+  in
+  Mutex.unlock t.lock;
+  n

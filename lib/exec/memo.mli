@@ -1,0 +1,33 @@
+(** Domain-safe, compute-once memo table.
+
+    {!find_or_compute} guarantees that for any key the compute function
+    runs at most once at a time and its result is shared: if a second
+    domain asks for a key that is already being computed, it blocks until
+    the first computation finishes instead of duplicating the (possibly
+    multi-second) work.  If the computation raises, the entry is dropped
+    and the exception propagates to the computing caller; a blocked waiter
+    then takes over and retries the computation itself. *)
+
+type ('k, 'v) t
+
+val create : ?size:int -> unit -> ('k, 'v) t
+
+val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [find_or_compute t k compute] returns the cached value for [k],
+    computing (and caching) it with [compute] on a miss.  [compute] runs
+    outside the table lock, so unrelated keys never serialize; it must not
+    recursively ask for [k] (that would deadlock by definition of
+    compute-once). *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Completed entries only; [None] for absent or in-flight keys. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Whether [k] has a completed entry. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drops completed entries.  In-flight computations finish and publish
+    normally (callers already waiting on them still get their value). *)
+
+val length : ('k, 'v) t -> int
+(** Number of completed entries. *)

@@ -1,0 +1,148 @@
+type event =
+  | Task_started of { index : int; label : string }
+  | Task_finished of { index : int; label : string; wall_seconds : float }
+
+(* A batch is one map call; tasks carry their batch so that a helper
+   draining the queue can complete tasks of any in-flight batch. *)
+type batch = { mutable remaining : int }
+type task = { batch : batch; run : unit -> unit }
+
+type t = {
+  n_jobs : int;
+  lock : Mutex.t;
+  work : Condition.t;
+      (* Signalled when tasks are pushed, a batch drains, or on stop. *)
+  queue : task Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t array;
+  on_event : (event -> unit) option;
+  event_lock : Mutex.t;
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+let jobs t = t.n_jobs
+
+(* Run one queued task.  Called with [t.lock] held; returns with it held.
+   [task.run] never raises (map wraps it). *)
+let step t task =
+  Mutex.unlock t.lock;
+  task.run ();
+  Mutex.lock t.lock;
+  task.batch.remaining <- task.batch.remaining - 1;
+  if task.batch.remaining = 0 then Condition.broadcast t.work
+
+let worker t =
+  Mutex.lock t.lock;
+  let rec loop () =
+    if t.stop then Mutex.unlock t.lock
+    else
+      match Queue.take_opt t.queue with
+      | Some task ->
+          step t task;
+          loop ()
+      | None ->
+          Condition.wait t.work t.lock;
+          loop ()
+  in
+  loop ()
+
+let create ?on_event ~jobs () =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be at least 1";
+  let t =
+    {
+      n_jobs = jobs;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      domains = [||];
+      on_event;
+      event_lock = Mutex.create ();
+    }
+  in
+  t.domains <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  let domains = t.domains in
+  t.domains <- [||];
+  Array.iter Domain.join domains
+
+let with_pool ?on_event ~jobs f =
+  let t = create ?on_event ~jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Submit a batch and help execute until it drains.  The submitter may be
+   the main domain or a worker running a task that fanned out again; either
+   way it only blocks when its batch has tasks running on other domains. *)
+let run_batch t thunks =
+  let n = Array.length thunks in
+  if n > 0 then begin
+    let batch = { remaining = n } in
+    Mutex.lock t.lock;
+    Array.iter (fun run -> Queue.add { batch; run } t.queue) thunks;
+    Condition.broadcast t.work;
+    let rec help () =
+      if batch.remaining > 0 then begin
+        (match Queue.take_opt t.queue with
+        | Some task -> step t task
+        | None -> Condition.wait t.work t.lock);
+        help ()
+      end
+    in
+    help ();
+    Mutex.unlock t.lock
+  end
+
+let emit t ev =
+  match t.on_event with
+  | None -> ()
+  | Some f ->
+      Mutex.lock t.event_lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock t.event_lock) (fun () -> f ev)
+
+let mapi ?label t f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let results = Array.make n None in
+  let errors = Array.make n None in
+  let label i =
+    match label with Some l -> l i | None -> Printf.sprintf "task %d" i
+  in
+  let thunks =
+    Array.init n (fun i () ->
+        match
+          let lbl = label i in
+          let t0 = Unix.gettimeofday () in
+          emit t (Task_started { index = i; label = lbl });
+          let v = f i items.(i) in
+          emit t
+            (Task_finished
+               { index = i; label = lbl;
+                 wall_seconds = Unix.gettimeofday () -. t0 });
+          v
+        with
+        | v -> results.(i) <- Some v
+        | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()))
+  in
+  run_batch t thunks;
+  (* The batch has fully drained: re-raise the first failure by task
+     index, so the surfaced error is schedule-independent too. *)
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+    errors;
+  List.init n (fun i ->
+      match results.(i) with
+      | Some v -> v
+      | None -> assert false (* no result implies an error, raised above *))
+
+let map ?label t f xs = mapi ?label t (fun _ x -> f x) xs
+
+let map_reduce ?label t ~map:f ~reduce ~init xs =
+  List.fold_left reduce init (map ?label t f xs)

@@ -5,6 +5,7 @@ module Experiment = Altune_core.Experiment
 module Welford = Altune_stats.Welford
 module Descriptive = Altune_stats.Descriptive
 module Report = Altune_report.Report
+module Pool = Altune_exec.Pool
 
 let default_benchmarks = Altune_spapt.Kernels.names
 
@@ -12,10 +13,20 @@ let bench_list = function
   | Some names -> List.map Spapt.create names
   | None -> List.map Spapt.create default_benchmarks
 
+(* Fan a per-benchmark computation out across the shared pool.  Each task
+   owns its benchmark value exclusively (Spapt.t memoizes ground truth
+   internally, so it must not be shared between concurrent tasks); results
+   come back in benchmark order, keeping reports schedule-independent. *)
+let map_benches ~section f benches =
+  let names = Array.of_list (List.map Spapt.name benches) in
+  Pool.map
+    ~label:(fun i -> Printf.sprintf "%s/%s" section names.(i))
+    (Runs.pool ()) f benches
+
 (* --- Table 1 --- *)
 
 let table1_rows ~scale ~seed benches =
-  List.map
+  map_benches ~section:"table1"
     (fun bench ->
       let pc = Runs.curves_for bench scale ~seed in
       let cmp =
@@ -62,7 +73,9 @@ let table1 ?benchmarks ~scale ~seed () =
 (* --- Table 2 --- *)
 
 let table2_row bench ~scale ~seed =
-  let rng = Rng.create ~seed:(Hashtbl.hash (seed, "table2", Spapt.name bench)) in
+  let rng =
+    Rng.create ~seed:(Rng.derive ~seed [ S "table2"; S (Spapt.name bench) ])
+  in
   let n = scale.Scale.table2_configs in
   let variances = Array.make n 0.0 in
   let ci35 = Array.make n 0.0 in
@@ -119,35 +132,36 @@ let breach_fractions rows =
     ]
 
 let table2 ?benchmarks ~scale ~seed () =
-  let raw = ref [] in
-  let rows =
-    List.map
+  let results =
+    map_benches ~section:"table2"
       (fun bench ->
         let ( (vmin, vmean, vmax),
               (c35min, c35mean, c35max),
               (c5min, c5mean, c5max) ), samples =
           table2_row bench ~scale ~seed
         in
-        raw := samples :: !raw;
-        [
-          Spapt.name bench;
-          Report.sci vmin;
-          Report.sci vmean;
-          Report.sci vmax;
-          Report.sci c35min;
-          Report.sci c35mean;
-          Report.sci c35max;
-          Report.sci c5min;
-          Report.sci c5mean;
-          Report.sci c5max;
-        ])
+        ( [
+            Spapt.name bench;
+            Report.sci vmin;
+            Report.sci vmean;
+            Report.sci vmax;
+            Report.sci c35min;
+            Report.sci c35mean;
+            Report.sci c35max;
+            Report.sci c5min;
+            Report.sci c5mean;
+            Report.sci c5max;
+          ],
+          samples ))
       (bench_list benchmarks)
   in
+  let rows = List.map fst results in
+  let raw = List.map snd results in
   Printf.sprintf
     "Table 2: spread of runtime variance and 95%% CI/mean (35- and 5-sample)\n\
      (scale=%s: %d random configurations per benchmark)\n\n%s\n%s\n"
     scale.Scale.label scale.Scale.table2_configs
-    (breach_fractions !raw)
+    (breach_fractions raw)
     (Report.Table.render
        ~headers:
          [
@@ -173,7 +187,7 @@ let mm_grid_config ~j ~k = [| 0; 0; 0; 0; j; k |]
 
 let fig1 ~scale ~seed () =
   let bench = Spapt.create "mm" in
-  let rng = Rng.create ~seed:(Hashtbl.hash (seed, "fig1")) in
+  let rng = Rng.create ~seed:(Rng.derive ~seed [ S "fig1" ]) in
   let rows = min scale.Scale.fig1_max_grid 16 in
   let cols = min scale.Scale.fig1_max_grid 32 in
   let n_obs = scale.Scale.n_obs in
@@ -273,7 +287,7 @@ let fig1 ~scale ~seed () =
 let fig2 ~scale ~seed () =
   ignore scale;
   let bench = Spapt.create "adi" in
-  let rng = Rng.create ~seed:(Hashtbl.hash (seed, "fig2")) in
+  let rng = Rng.create ~seed:(Rng.derive ~seed [ S "fig2" ]) in
   (* adi knobs: 0..3 tiles, 4 jam i1, 5 unroll i2, 6 unroll j1, 7 unroll
      j2.  Sweep unroll j1 with everything else off. *)
   let series =
@@ -315,9 +329,9 @@ let curve_points (c : Experiment.curve) =
 let fig6 ?benchmarks ~scale ~seed () =
   let names = Option.value ~default:fig6_default benchmarks in
   let sections =
-    List.map
-      (fun name ->
-        let bench = Spapt.create name in
+    map_benches ~section:"fig6"
+      (fun bench ->
+        let name = Spapt.name bench in
         let pc = Runs.curves_for bench scale ~seed in
         (* The paper plots the shared time window where all plans are
            active; clip each plan's curve at the fastest plan's end. *)
@@ -343,7 +357,7 @@ let fig6 ?benchmarks ~scale ~seed () =
             ("one observation", clip pc.one_observation);
             ("variable observations (ours)", clip pc.variable_observations);
           ])
-      names
+      (List.map Spapt.create names)
   in
   String.concat "\n" sections
 
@@ -351,12 +365,14 @@ let fig6 ?benchmarks ~scale ~seed () =
 
 let ablation ?(bench = "gemver") ~scale ~seed () =
   let b = Spapt.create bench in
-  let problem = Adapter.problem_of b in
   let dataset = Runs.dataset_for b scale ~seed in
   let base = scale.Scale.adaptive in
   let run_with tag settings =
+    (* Fresh problem per variant: variants run concurrently and Spapt's
+       ground-truth memo is per-instance state. *)
+    let problem = Adapter.problem_of (Spapt.create bench) in
     let seeds =
-      List.init scale.Scale.reps (fun r -> Hashtbl.hash (seed, tag, r))
+      List.init scale.Scale.reps (fun r -> Rng.derive ~seed [ S tag; I r ])
     in
     let curve = Experiment.repeat problem dataset settings ~seeds None in
     let final =
@@ -390,8 +406,11 @@ let ablation ?(bench = "gemver") ~scale ~seed () =
         { base with empirical_prior = false } );
     ]
   in
+  let tags = Array.of_list (List.map fst variants) in
   let rows =
-    List.map
+    Pool.map
+      ~label:(fun i -> Printf.sprintf "ablation/%s" tags.(i))
+      (Runs.pool ())
       (fun (tag, settings) ->
         let tag, mn, final = run_with tag settings in
         [ tag; Report.f3 mn; Report.f3 final ])

@@ -1,8 +1,10 @@
 module Spapt = Altune_spapt.Spapt
 module Rng = Altune_prng.Rng
 module Dataset = Altune_core.Dataset
-module Learner = Altune_core.Learner
 module Experiment = Altune_core.Experiment
+module Learner = Altune_core.Learner
+module Pool = Altune_exec.Pool
+module Memo = Altune_exec.Memo
 
 type plan_curves = {
   bench : string;
@@ -11,54 +13,127 @@ type plan_curves = {
   variable_observations : Experiment.curve;
 }
 
-let dataset_cache : (string, Dataset.t) Hashtbl.t = Hashtbl.create 16
-let curve_cache : (string, plan_curves) Hashtbl.t = Hashtbl.create 16
+(* --- Shared execution pool ------------------------------------------- *)
+
+(* One process-wide pool, created lazily so library users that never tune
+   the job count still get parallelism, and [set_jobs] (the CLI's
+   [-j/--jobs]) can replace it before the first experiment runs. *)
+let pool_state = ref (None : Pool.t option)
+let requested_jobs = ref (None : int option)
+let progress = ref (None : (Pool.event -> unit) option)
+let pool_lock = Mutex.create ()
+
+let jobs () =
+  Mutex.lock pool_lock;
+  let j =
+    match !pool_state with
+    | Some p -> Pool.jobs p
+    | None -> (
+        match !requested_jobs with
+        | Some j -> j
+        | None -> Pool.default_jobs ())
+  in
+  Mutex.unlock pool_lock;
+  j
+
+let set_jobs ?on_event j =
+  if j < 1 then invalid_arg "Runs.set_jobs: jobs must be at least 1";
+  Mutex.lock pool_lock;
+  let old = !pool_state in
+  pool_state := None;
+  requested_jobs := Some j;
+  progress := on_event;
+  Mutex.unlock pool_lock;
+  Option.iter Pool.shutdown old
+
+let pool () =
+  Mutex.lock pool_lock;
+  let p =
+    match !pool_state with
+    | Some p -> p
+    | None ->
+        let j =
+          match !requested_jobs with
+          | Some j -> j
+          | None -> Pool.default_jobs ()
+        in
+        let p = Pool.create ?on_event:!progress ~jobs:j () in
+        pool_state := Some p;
+        p
+  in
+  Mutex.unlock pool_lock;
+  p
+
+(* --- Caches ----------------------------------------------------------- *)
+
+(* Compute-once memo tables: Table 1, Figure 5 and Figure 6 share curves,
+   and with benchmarks fanned out across domains the memo also guarantees
+   two domains never duplicate a multi-minute run of the same key. *)
+let dataset_cache : (string, Dataset.t) Memo.t = Memo.create ()
+let curve_cache : (string, plan_curves) Memo.t = Memo.create ()
 
 let clear_cache () =
-  Hashtbl.reset dataset_cache;
-  Hashtbl.reset curve_cache
+  Memo.clear dataset_cache;
+  Memo.clear curve_cache
 
 let dataset_for bench (scale : Scale.t) ~seed =
   let key = Printf.sprintf "%s/%s/%d" (Spapt.name bench) scale.label seed in
-  match Hashtbl.find_opt dataset_cache key with
-  | Some d -> d
-  | None ->
+  Memo.find_or_compute dataset_cache key (fun () ->
       let problem = Adapter.problem_of bench in
-      let rng = Rng.create ~seed:(Hashtbl.hash (seed, "dataset", key)) in
-      let d =
-        Dataset.generate problem ~rng ~n_configs:scale.n_configs
-          ~test_fraction:scale.test_fraction ~n_obs:scale.n_obs
-      in
-      Hashtbl.replace dataset_cache key d;
-      d
+      let rng = Rng.create ~seed:(Rng.derive ~seed [ S "dataset"; S key ]) in
+      Dataset.generate problem ~rng ~n_configs:scale.n_configs
+        ~test_fraction:scale.test_fraction ~n_obs:scale.n_obs)
 
-let run_plan problem dataset settings (scale : Scale.t) ~seed ~tag =
-  let seeds =
-    List.init scale.reps (fun r -> Hashtbl.hash (seed, tag, r, problem.Altune_core.Problem.name))
-  in
-  Experiment.repeat problem dataset settings ~seeds None
+(* --- Parallel plan execution ----------------------------------------- *)
 
+(* Every (plan, repetition) pair is one pool task.  Each task builds its
+   own problem (and thus its own Spapt ground-truth memo and audit table:
+   those are per-instance mutable state) and derives a private RNG seed,
+   so the result is independent of the interleaving — curves are
+   bit-identical at any job count. *)
 let curves_for bench (scale : Scale.t) ~seed =
-  let key = Printf.sprintf "%s/%s/%d" (Spapt.name bench) scale.label seed in
-  match Hashtbl.find_opt curve_cache key with
-  | Some c -> c
-  | None ->
-      let problem = Adapter.problem_of bench in
+  let name = Spapt.name bench in
+  let key = Printf.sprintf "%s/%s/%d" name scale.label seed in
+  Memo.find_or_compute curve_cache key (fun () ->
       let dataset = dataset_for bench scale ~seed in
-      let c =
-        {
-          bench = Spapt.name bench;
-          all_observations =
-            run_plan problem dataset
-              (Scale.fixed scale scale.n_obs)
-              scale ~seed ~tag:"fixed";
-          one_observation =
-            run_plan problem dataset (Scale.fixed scale 1) scale ~seed
-              ~tag:"one";
-          variable_observations =
-            run_plan problem dataset scale.adaptive scale ~seed
-              ~tag:"adaptive";
-        }
+      let plans =
+        [
+          ("fixed", Scale.fixed scale scale.n_obs);
+          ("one", Scale.fixed scale 1);
+          ("adaptive", scale.adaptive);
+        ]
       in
-      Hashtbl.replace curve_cache key c;
-      c
+      let tasks =
+        List.concat_map
+          (fun (tag, settings) ->
+            List.init scale.reps (fun r -> (tag, settings, r)))
+          plans
+      in
+      let task_array = Array.of_list tasks in
+      let curves =
+        Pool.map
+          ~label:(fun i ->
+            let tag, _, r = task_array.(i) in
+            Printf.sprintf "%s/%s/%s rep %d" name scale.label tag r)
+          (pool ())
+          (fun (tag, settings, r) ->
+            let rep_seed = Rng.derive ~seed [ S tag; I r; S name ] in
+            let problem = Adapter.problem_of (Spapt.create name) in
+            ( tag,
+              (Learner.run problem dataset settings
+                 ~rng:(Rng.create ~seed:rep_seed))
+                .curve ))
+          tasks
+      in
+      let plan tag =
+        Experiment.average_curves
+          (List.filter_map
+             (fun (t, c) -> if String.equal t tag then Some c else None)
+             curves)
+      in
+      {
+        bench = name;
+        all_observations = plan "fixed";
+        one_observation = plan "one";
+        variable_observations = plan "adaptive";
+      })

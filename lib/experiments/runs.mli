@@ -1,6 +1,11 @@
-(** Shared execution of the three sampling plans on a benchmark, with
-    per-process caching so Table 1, Figure 5 and Figure 6 do not recompute
-    one another's runs. *)
+(** Shared execution of the three sampling plans on a benchmark, fanned
+    out over the process-wide domain pool, with compute-once caching so
+    Table 1, Figure 5 and Figure 6 do not recompute one another's runs
+    (and two domains never duplicate a run).
+
+    Every (plan, repetition) pair runs as one pool task with its own
+    derived RNG seed and its own problem instance, so curves are
+    bit-identical at any job count. *)
 
 type plan_curves = {
   bench : string;
@@ -8,6 +13,20 @@ type plan_curves = {
   one_observation : Altune_core.Experiment.curve;  (** Fixed 1. *)
   variable_observations : Altune_core.Experiment.curve;  (** Adaptive. *)
 }
+
+val set_jobs : ?on_event:(Altune_exec.Pool.event -> unit) -> int -> unit
+(** [set_jobs j] fixes the parallelism of the shared pool (the CLI's
+    [-j/--jobs]); [1] means fully sequential.  Replaces any existing pool,
+    so call it before experiments start.  [on_event] receives the pool's
+    per-task progress events (for live reporting).  Default without a
+    call: [Altune_exec.Pool.default_jobs ()]. *)
+
+val jobs : unit -> int
+(** Parallelism of the shared pool ([set_jobs]'s value, or the default). *)
+
+val pool : unit -> Altune_exec.Pool.t
+(** The shared pool, created on first use.  Drivers fan benchmarks out on
+    it; {!curves_for} fans repetitions out on it (nested use is safe). *)
 
 val dataset_for :
   Altune_spapt.Spapt.t -> Scale.t -> seed:int -> Altune_core.Dataset.t

@@ -12,6 +12,30 @@ type t = {
   fig1_max_grid : int;
 }
 
+(* Small enough for CI smoke runs (@bench-smoke): seconds, not minutes,
+   while still exercising datasets, all three plans and repetitions. *)
+let smoke =
+  {
+    label = "smoke";
+    n_configs = 250;
+    test_fraction = 0.25;
+    n_obs = 10;
+    reps = 2;
+    adaptive =
+      {
+        Learner.scaled_settings with
+        n_init = 4;
+        n_obs_init = 10;
+        n_candidates = 15;
+        n_max = 50;
+        ref_size = 40;
+        eval_every = 10;
+        model = Surrogate.dynatree ~particles:25 ();
+      };
+    table2_configs = 30;
+    fig1_max_grid = 6;
+  }
+
 let quick =
   {
     label = "quick";
@@ -57,6 +81,7 @@ let paper =
   }
 
 let of_label = function
+  | "smoke" -> Some smoke
   | "quick" -> Some quick
   | "standard" -> Some standard
   | "paper" -> Some paper

@@ -18,6 +18,9 @@ type t = {
   fig1_max_grid : int;  (** Grid edge cap for the Figure 1 sweep. *)
 }
 
+val smoke : t
+(** Seconds-long preset for CI smoke runs (the [@bench-smoke] alias). *)
+
 val quick : t
 val standard : t
 val paper : t

@@ -26,6 +26,38 @@ let create ~seed =
   let s3 = splitmix64 st in
   { s0; s1; s2; s3; spare = nan; has_spare = false }
 
+type seed_part = I of int | S of string
+
+(* One SplitMix64-style absorption round: xor in the block, advance by the
+   golden gamma, then run the full finalizer.  Running the finalizer per
+   block (rather than once at the end) keeps short, similar inputs — the
+   common case for (tag, repetition, benchmark) keys — far apart. *)
+let mix64 h x =
+  let open Int64 in
+  let z = add (logxor h x) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let derive ~seed parts =
+  (* Domain-separate the two part constructors and prefix strings with
+     their length, so e.g. [S "a"; S ""] and [S ""; S "a"] differ and an
+     int can never collide with a string of the same bits. *)
+  let h = ref (mix64 (Int64.of_int seed) 0x64657269766564L (* "derived" *)) in
+  List.iter
+    (fun part ->
+      match part with
+      | I i ->
+          h := mix64 !h 1L;
+          h := mix64 !h (Int64.of_int i)
+      | S s ->
+          h := mix64 !h 2L;
+          h := mix64 !h (Int64.of_int (String.length s));
+          String.iter (fun c -> h := mix64 !h (Int64.of_int (Char.code c))) s)
+    parts;
+  (* Top 62 bits: OCaml's native int keeps 63, so this stays positive. *)
+  Int64.to_int (Int64.shift_right_logical !h 2)
+
 let copy t = { t with s0 = t.s0 }
 
 let rotl x k =

@@ -14,6 +14,19 @@ type t
 val create : seed:int -> t
 (** [create ~seed] builds a fresh generator from a 63-bit seed. *)
 
+type seed_part = I of int | S of string
+(** One component of a derived-seed key: an integer (repetition index,
+    knob value, ...) or a string (tag, benchmark name, ...). *)
+
+val derive : seed:int -> seed_part list -> int
+(** [derive ~seed parts] mixes a master seed with a structured key into a
+    non-negative 62-bit seed, SplitMix64-style: every part is absorbed
+    through the full finalizer with type and length domain separation, so
+    distinct keys yield decorrelated seeds (unlike [Hashtbl.hash], which
+    truncates and collides).  Use this to give every task of a parallel
+    experiment its own deterministic stream:
+    [Rng.create ~seed:(Rng.derive ~seed [S "adaptive"; I rep; S "mm"])]. *)
+
 val copy : t -> t
 (** [copy t] is an independent duplicate of [t]'s current state: both copies
     will produce the same future stream. *)
