@@ -6,15 +6,22 @@
    Pass --scale standard (or paper) for larger experiment scales,
    --jobs N to fan experiments out over N domains (results are
    bit-identical at any job count), --benchmarks a,b to restrict the
-   benchmark set, --progress for live per-task reporting, or a subset of
-   section names (table1 table2 fig1 fig2 fig5 fig6 ablation micro) to
-   run only those.  Per-section wall times are appended to
-   BENCH_harness.json so the performance trajectory is tracked. *)
+   benchmark set, --progress for live per-task reporting, --trace FILE
+   to record a JSONL span trace (summarize with `altune trace-summary`),
+   --metrics to dump the metrics registry to stderr at exit, or a subset
+   of section names (table1 table2 fig1 fig2 fig5 fig6 ablation micro)
+   to run only those.  Per-section wall times are appended to
+   BENCH_harness.json, stamped with the run manifest (host, cores, git
+   rev, ...) so the performance trajectory stays interpretable across
+   machines and commits. *)
 
 module Drivers = Altune_experiments.Drivers
 module Scale = Altune_experiments.Scale
 module Runs = Altune_experiments.Runs
 module Pool = Altune_exec.Pool
+module Trace = Altune_obs.Trace
+module Metrics = Altune_obs.Metrics
+module Manifest = Altune_obs.Manifest
 
 (* (section id, wall seconds) of every section run, for BENCH_harness.json. *)
 let timings : (string * float) list ref = ref []
@@ -24,17 +31,20 @@ let section id name f =
   Printf.printf "%s\n" name;
   Printf.printf "==============================================================\n%!";
   let t0 = Unix.gettimeofday () in
-  print_string (f ());
+  print_string (Trace.with_span ~name:("bench." ^ id) f);
   let dt = Unix.gettimeofday () -. t0 in
   timings := (id, dt) :: !timings;
   Printf.printf "\n[%s regenerated in %.1fs wall time]\n\n%!" name dt
 
-(* The file is a flat JSON array of {section, scale, jobs, seconds}
+(* The file is a flat JSON array of {section, scale, jobs, seconds, ...}
    records; successive runs append rather than overwrite, so the
    performance trajectory (across job counts, scales and commits) lives in
    one machine-readable place.  Existing records are recovered line-wise —
-   the file is only ever written by this function, one record per line. *)
-let write_harness_json ~path ~scale ~jobs =
+   the file is only ever written by this function, one record per line.
+   Each new record carries the run manifest (host, cores, git rev, OCaml
+   version, seed) so an anomalous timing, like a jobs=4 run that is slower
+   than jobs=1, can be traced back to the machine that produced it. *)
+let write_harness_json ~path ~scale ~jobs ~(manifest : Manifest.t) =
   let existing =
     if not (Sys.file_exists path) then []
     else begin
@@ -61,8 +71,11 @@ let write_harness_json ~path ~scale ~jobs =
     List.rev_map
       (fun (id, dt) ->
         Printf.sprintf
-          "  {\"section\": %S, \"scale\": %S, \"jobs\": %d, \"seconds\": %.3f}"
-          id scale jobs dt)
+          "  {\"section\": %S, \"scale\": %S, \"jobs\": %d, \"seconds\": \
+           %.3f, \"host\": %S, \"cores\": %d, \"git_rev\": %S, \"ocaml\": \
+           %S, \"seed\": %d}"
+          id scale jobs dt manifest.hostname manifest.cores manifest.git_rev
+          manifest.ocaml_version manifest.seed)
       !timings
   in
   let records = existing @ fresh in
@@ -255,6 +268,15 @@ let () =
       (find args);
     find args
   in
+  let trace =
+    let rec find = function
+      | "--trace" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let metrics = List.mem "--metrics" args in
   let progress = List.mem "--progress" args in
   let on_event =
     if not progress then None
@@ -279,6 +301,7 @@ let () =
     named = [] || List.mem name named
   in
   let seed = 42 in
+  let manifest = Manifest.capture ~scale:scale.Scale.label ~jobs ~seed () in
   Printf.printf
     "altune benchmark harness — reproducing every table and figure of\n\
      'Minimizing the Cost of Iterative Compilation with Active Learning'\n\
@@ -286,29 +309,36 @@ let () =
      seconds; the shapes, not the absolute numbers, are the reproduction\n\
      target.\n\n%!"
     scale.Scale.label seed jobs;
-  if wanted "fig1" then
-    section "fig1" "Figure 1 (mm unroll plane: MAE and optimal samples)"
-      (fun () -> Drivers.fig1 ~scale ~seed ());
-  if wanted "fig2" then
-    section "fig2" "Figure 2 (adi runtime vs unroll factor)" (fun () ->
-        Drivers.fig2 ~scale ~seed ());
-  if wanted "table2" then
-    section "table2" "Table 2 (noise spread across each space)" (fun () ->
-        Drivers.table2 ?benchmarks ~scale ~seed ());
-  if wanted "table1" then
-    section "table1" "Table 1 (lowest common error, cost, speed-up)"
-      (fun () -> Drivers.table1 ?benchmarks ~scale ~seed ());
-  if wanted "fig5" then
-    section "fig5" "Figure 5 (profiling-cost reduction)" (fun () ->
-        Drivers.fig5 ?benchmarks ~scale ~seed ());
-  if wanted "fig6" then
-    section "fig6" "Figure 6 (error vs cost for three sampling plans)"
-      (fun () -> Drivers.fig6 ?benchmarks ~scale ~seed ());
-  if wanted "ablation" then
-    section "ablation" "Ablation (design choices of the adaptive learner)"
-      (fun () -> Drivers.ablation ~scale ~seed ());
-  if wanted "micro" then
-    section "micro" "Micro-benchmarks (Bechamel)" (fun () -> run_micro ());
+  let run_all () =
+    if wanted "fig1" then
+      section "fig1" "Figure 1 (mm unroll plane: MAE and optimal samples)"
+        (fun () -> Drivers.fig1 ~scale ~seed ());
+    if wanted "fig2" then
+      section "fig2" "Figure 2 (adi runtime vs unroll factor)" (fun () ->
+          Drivers.fig2 ~scale ~seed ());
+    if wanted "table2" then
+      section "table2" "Table 2 (noise spread across each space)" (fun () ->
+          Drivers.table2 ?benchmarks ~scale ~seed ());
+    if wanted "table1" then
+      section "table1" "Table 1 (lowest common error, cost, speed-up)"
+        (fun () -> Drivers.table1 ?benchmarks ~scale ~seed ());
+    if wanted "fig5" then
+      section "fig5" "Figure 5 (profiling-cost reduction)" (fun () ->
+          Drivers.fig5 ?benchmarks ~scale ~seed ());
+    if wanted "fig6" then
+      section "fig6" "Figure 6 (error vs cost for three sampling plans)"
+        (fun () -> Drivers.fig6 ?benchmarks ~scale ~seed ());
+    if wanted "ablation" then
+      section "ablation" "Ablation (design choices of the adaptive learner)"
+        (fun () -> Drivers.ablation ~scale ~seed ());
+    if wanted "micro" then
+      section "micro" "Micro-benchmarks (Bechamel)" (fun () -> run_micro ())
+  in
+  (match trace with
+  | None -> run_all ()
+  | Some path ->
+      Trace.with_file path ~manifest:(Manifest.to_json manifest) run_all);
   write_harness_json ~path:"BENCH_harness.json" ~scale:scale.Scale.label
-    ~jobs;
-  Printf.printf "[per-section wall times written to BENCH_harness.json]\n%!"
+    ~jobs ~manifest;
+  Printf.printf "[per-section wall times written to BENCH_harness.json]\n%!";
+  if metrics then prerr_string (Metrics.render ())

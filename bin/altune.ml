@@ -12,6 +12,10 @@ module Adapter = Altune_experiments.Adapter
 module Runs = Altune_experiments.Runs
 module Learner = Altune_core.Learner
 module Rng = Altune_prng.Rng
+module Trace = Altune_obs.Trace
+module Obs_metrics = Altune_obs.Metrics
+module Manifest = Altune_obs.Manifest
+module Summary = Altune_obs.Summary
 open Cmdliner
 
 let scale_arg =
@@ -56,6 +60,48 @@ let apply_jobs = function
       end;
       Runs.set_jobs j
 
+let trace_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL execution trace (spans for every pool task, \
+           learner iteration phase, and simulated profiling run, plus the \
+           run manifest) to $(docv).  Tracing never changes experiment \
+           output: bytes on stdout are identical with and without it.  \
+           Aggregate the file with $(b,altune trace-summary).")
+
+let metrics_term =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Dump the metrics registry (pool queue waits, steals, memo \
+           hit/miss counters, ...) to stderr after the command.")
+
+(* Run [f] under the observability requested on the command line: a JSONL
+   file sink stamped with the run manifest, a top-level span named after
+   the subcommand, and an optional metrics dump.  Experiment stdout is
+   produced by [f] as usual and stays byte-identical either way. *)
+let with_obs ~command ~trace ~metrics ~scale_label ~seed f =
+  let body () =
+    Trace.with_span ~name:"command"
+      ~attrs:[ ("command", Trace.String command) ]
+      f
+  in
+  let result =
+    match trace with
+    | None -> f ()
+    | Some path ->
+        let manifest =
+          Manifest.capture ~scale:scale_label ~jobs:(Runs.jobs ()) ~seed ()
+        in
+        Trace.with_file path ~manifest:(Manifest.to_json manifest) body
+  in
+  if metrics then prerr_string (Obs_metrics.render ());
+  result
+
 let benchmarks_term =
   Arg.(
     value
@@ -81,25 +127,32 @@ let check_benchmarks = function
         names
 
 let simple_cmd name ~doc f =
+  let command = name in
   let term =
     Term.(
-      const (fun scale seed jobs benchmarks ->
+      const (fun scale seed jobs benchmarks trace metrics ->
           check_benchmarks benchmarks;
           apply_jobs jobs;
-          print_string (f ?benchmarks ~scale ~seed ());
-          print_newline ())
-      $ scale_term $ seed_term $ jobs_term $ benchmarks_term)
+          with_obs ~command ~trace ~metrics
+            ~scale_label:scale.Scale.label ~seed (fun () ->
+              print_string (f ?benchmarks ~scale ~seed ());
+              print_newline ()))
+      $ scale_term $ seed_term $ jobs_term $ benchmarks_term $ trace_term
+      $ metrics_term)
   in
   Cmd.v (Cmd.info name ~doc) term
 
 let nobench_cmd name ~doc f =
+  let command = name in
   let term =
     Term.(
-      const (fun scale seed jobs ->
+      const (fun scale seed jobs trace metrics ->
           apply_jobs jobs;
-          print_string (f ~scale ~seed ());
-          print_newline ())
-      $ scale_term $ seed_term $ jobs_term)
+          with_obs ~command ~trace ~metrics
+            ~scale_label:scale.Scale.label ~seed (fun () ->
+              print_string (f ~scale ~seed ());
+              print_newline ()))
+      $ scale_term $ seed_term $ jobs_term $ trace_term $ metrics_term)
   in
   Cmd.v (Cmd.info name ~doc) term
 
@@ -134,11 +187,14 @@ let fig6_cmd =
 let ablation_cmd =
   let term =
     Term.(
-      const (fun scale seed jobs bench ->
+      const (fun scale seed jobs bench trace metrics ->
           apply_jobs jobs;
-          print_string (Drivers.ablation ~bench ~scale ~seed ());
-          print_newline ())
-      $ scale_term $ seed_term $ jobs_term $ bench_term ~default:"gemver")
+          with_obs ~command:"ablation" ~trace ~metrics
+            ~scale_label:scale.Scale.label ~seed (fun () ->
+              print_string (Drivers.ablation ~bench ~scale ~seed ());
+              print_newline ()))
+      $ scale_term $ seed_term $ jobs_term $ bench_term ~default:"gemver"
+      $ trace_term $ metrics_term)
   in
   Cmd.v
     (Cmd.info "ablation"
@@ -271,10 +327,62 @@ let check_cmd =
           re-analysis, access counts, differential execution).")
     term
 
+let trace_summary_cmd =
+  let file_term =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"JSONL trace written by $(b,--trace).")
+  in
+  let max_share_term =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-share" ] ~docv:"PCT"
+          ~doc:
+            "Fail (exit 1) if any phase's share of attributed time exceeds \
+             $(docv) percent — a cheap perf-regression tripwire for CI.")
+  in
+  let term =
+    Term.(
+      const (fun file max_share ->
+          match Summary.of_file file with
+          | Error e ->
+              Printf.eprintf "trace-summary: %s\n" e;
+              Stdlib.exit 1
+          | Ok s -> (
+              print_string (Summary.render s);
+              match max_share with
+              | None -> ()
+              | Some bound -> (
+                  match Summary.violations s ~max_share:bound with
+                  | [] ->
+                      Printf.printf
+                        "trace-summary: all phases within the %.1f%% bound\n"
+                        bound
+                  | vs ->
+                      List.iter
+                        (fun v -> Printf.printf "trace-summary: %s\n" v)
+                        vs;
+                      Stdlib.exit 1)))
+      $ file_term $ max_share_term)
+  in
+  Cmd.v
+    (Cmd.info "trace-summary"
+       ~doc:
+         "Aggregate a JSONL trace into a per-phase time breakdown \
+          (candidate generation, ALC scoring, tree updates, simulated \
+          profiling, dataset generation), attributing each span's \
+          self-time, with an optional per-phase share bound for CI.")
+    term
+
 let tune_cmd =
   let term =
     Term.(
-      const (fun scale seed bench ->
+      const (fun scale seed bench trace metrics ->
+          with_obs ~command:"tune" ~trace ~metrics
+            ~scale_label:scale.Scale.label ~seed
+          @@ fun () ->
           let b = Spapt.create bench in
           let problem = Adapter.problem_of b in
           let dataset = Runs.dataset_for b scale ~seed in
@@ -318,7 +426,8 @@ let tune_cmd =
             best.predicted
             (Spapt.true_runtime b best.best)
             (sampled.evaluations + climbed.evaluations))
-      $ scale_term $ seed_term $ bench_term ~default:"mm")
+      $ scale_term $ seed_term $ bench_term ~default:"mm" $ trace_term
+      $ metrics_term)
   in
   Cmd.v
     (Cmd.info "tune"
@@ -348,4 +457,5 @@ let () =
             show_cmd;
             check_cmd;
             tune_cmd;
+            trace_summary_cmd;
           ]))

@@ -1,6 +1,7 @@
 module Rng = Altune_prng.Rng
 module Metrics = Altune_stats.Metrics
 module Welford = Altune_stats.Welford
+module Trace = Altune_obs.Trace
 
 type plan = Fixed of int | Adaptive of { max_obs : int }
 type strategy = Alc | Mackay | Random_selection
@@ -96,18 +97,32 @@ type scaler = { mutable mean : float; mutable std : float }
 let standardize scaler y = (y -. scaler.mean) /. scaler.std
 let unstandardize scaler z = (z *. scaler.std) +. scaler.mean
 
-let run (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
+let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
   validate settings;
   let rng = Rng.split rng in
   let cost = Cost.create () in
   let run_counter = ref 0 in
+  (* Each simulated compile+profile is one traced span carrying the
+     simulated seconds it charged, so the paper's cost curves can be
+     reconstructed from the trace alone. *)
   let measure config =
-    incr run_counter;
-    Cost.charge_compile cost ~key:(Problem.key config)
-      (problem.compile_seconds config);
-    let d = problem.measure ~rng ~run_index:!run_counter config in
-    Cost.charge_run cost d;
-    d
+    Trace.with_span ~name:"learner.profile" ~phase:"profiling" (fun () ->
+        incr run_counter;
+        let compile_before = Cost.compile_seconds cost in
+        Cost.charge_compile cost ~key:(Problem.key config)
+          (problem.compile_seconds config);
+        let d = problem.measure ~rng ~run_index:!run_counter config in
+        Cost.charge_run cost d;
+        if Trace.enabled () then
+          Trace.add_attrs
+            [
+              ("run_index", Trace.Int !run_counter);
+              ("sim_run_s", Trace.Float d);
+              ( "sim_compile_s",
+                Trace.Float (Cost.compile_seconds cost -. compile_before) );
+              ("sim_total_s", Trace.Float (Cost.total_seconds cost));
+            ];
+        d)
   in
   let pool = dataset.train_configs in
   if Array.length pool = 0 then invalid_arg "Learner.run: empty train pool";
@@ -155,7 +170,10 @@ let run (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
         problem.features (pool.(Rng.int rng (Array.length pool))))
   in
   (* --- Seed phase --- *)
-  let seed_configs = sample_unseen settings.n_init in
+  let seed_configs =
+    Trace.with_span ~name:"learner.seed-sample" ~phase:"candidate-gen"
+      (fun () -> sample_unseen settings.n_init)
+  in
   let seed_welford = ref Welford.empty in
   let seed_data =
     List.map
@@ -196,7 +214,9 @@ let run (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
   in
   let model = settings.model ~noise_hint ~rng ~dim:problem.dim in
   let observe_raw config y =
-    Surrogate.observe model (problem.features config) (standardize scaler y)
+    Trace.with_span ~name:"learner.observe" ~phase:"tree-update" (fun () ->
+        Surrogate.observe model (problem.features config)
+          (standardize scaler y))
   in
   (* Seed examples enter the model as their mean: the seed phase's many
      observations exist to give the learner an accurate first look, and a
@@ -213,12 +233,13 @@ let run (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
   (* --- Evaluation --- *)
   let test_features = Array.map problem.features dataset.test_configs in
   let rmse () =
-    let predicted =
-      Array.map
-        (fun f -> unstandardize scaler (Surrogate.predict model f).mean)
-        test_features
-    in
-    Metrics.rmse ~predicted ~observed:dataset.test_means
+    Trace.with_span ~name:"learner.rmse" ~phase:"eval" (fun () ->
+        let predicted =
+          Array.map
+            (fun f -> unstandardize scaler (Surrogate.predict model f).mean)
+            test_features
+        in
+        Metrics.rmse ~predicted ~observed:dataset.test_means)
   in
   let curve = ref [] in
   let record iteration =
@@ -258,11 +279,14 @@ let run (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
     match candidates with
     | [] -> []
     | _ ->
-        let scored = score_all candidates in
-        let sorted =
-          List.stable_sort (fun (_, a) (_, b) -> Float.compare b a) scored
-        in
-        List.filteri (fun i _ -> i < k) (List.map fst sorted)
+        Trace.with_span ~name:"learner.select" ~phase:"alc"
+          ~attrs:[ ("candidates", Trace.Int (List.length candidates)) ]
+          (fun () ->
+            let scored = score_all candidates in
+            let sorted =
+              List.stable_sort (fun (_, a) (_, b) -> Float.compare b a) scored
+            in
+            List.filteri (fun i _ -> i < k) (List.map fst sorted))
   in
   let should_stop iteration =
     iteration >= settings.n_max
@@ -279,34 +303,39 @@ let run (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
   let iteration = ref settings.n_init in
   let stopped = ref (should_stop !iteration) in
   while not !stopped do
-    let fresh = sample_unseen settings.n_candidates in
-    let revisits =
-      (* A visited configuration re-enters the candidate set only while it
-         is of continued interest: under the observation cap AND with an
-         observed mean that sticks out from the model's local pattern.
-         This is the paper's criterion -- extra runs are worth their cost
-         only when they are likely to contradict what the model
-         predicts. *)
-      match settings.plan with
-      | Fixed _ -> []
-      | Adaptive { max_obs } ->
-          Hashtbl.fold
-            (fun _ (count, sum, config) acc ->
-              if count >= max_obs then acc
-              else begin
-                let f = problem.features config in
-                let p = Surrogate.predict model f in
-                let observed_mean =
-                  standardize scaler (sum /. float_of_int count)
-                in
-                let sd = sqrt (Float.max 1e-12 p.variance) in
-                if
-                  Float.abs (observed_mean -. p.mean)
-                  > settings.revisit_threshold *. sd
-                then config :: acc
-                else acc
-              end)
-            obs_count []
+    let fresh, revisits =
+      Trace.with_span ~name:"learner.candidates" ~phase:"candidate-gen"
+        (fun () ->
+          let fresh = sample_unseen settings.n_candidates in
+          let revisits =
+            (* A visited configuration re-enters the candidate set only
+               while it is of continued interest: under the observation cap
+               AND with an observed mean that sticks out from the model's
+               local pattern.  This is the paper's criterion -- extra runs
+               are worth their cost only when they are likely to contradict
+               what the model predicts. *)
+            match settings.plan with
+            | Fixed _ -> []
+            | Adaptive { max_obs } ->
+                Hashtbl.fold
+                  (fun _ (count, sum, config) acc ->
+                    if count >= max_obs then acc
+                    else begin
+                      let f = problem.features config in
+                      let p = Surrogate.predict model f in
+                      let observed_mean =
+                        standardize scaler (sum /. float_of_int count)
+                      in
+                      let sd = sqrt (Float.max 1e-12 p.variance) in
+                      if
+                        Float.abs (observed_mean -. p.mean)
+                        > settings.revisit_threshold *. sd
+                      then config :: acc
+                      else acc
+                    end)
+                  obs_count []
+          in
+          (fresh, revisits))
     in
     let batch =
       let remaining = settings.n_max - !iteration in
@@ -354,3 +383,8 @@ let run (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
         unstandardize scaler
           (Surrogate.predict model (problem.features config)).mean);
   }
+
+let run (problem : Problem.t) dataset settings ~rng =
+  Trace.with_span ~name:"learner.run"
+    ~attrs:[ ("problem", Trace.String problem.name) ]
+    (fun () -> run_loop problem dataset settings ~rng)

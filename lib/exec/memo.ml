@@ -1,31 +1,42 @@
+module Metrics = Altune_obs.Metrics
+
 type 'v state = In_progress | Ready of 'v
 
 type ('k, 'v) t = {
   lock : Mutex.t;
   done_cond : Condition.t;  (* a computation published or was dropped *)
   tbl : ('k, 'v state) Hashtbl.t;
+  hits : Metrics.counter;
+  misses : Metrics.counter;
+  waits : Metrics.counter;
 }
 
-let create ?(size = 64) () =
+let create ?(size = 64) ?(name = "memo") () =
   {
     lock = Mutex.create ();
     done_cond = Condition.create ();
     tbl = Hashtbl.create size;
+    hits = Metrics.counter (name ^ ".hits");
+    misses = Metrics.counter (name ^ ".misses");
+    waits = Metrics.counter (name ^ ".waits");
   }
 
 let find_or_compute t k compute =
   Mutex.lock t.lock;
-  let rec acquire () =
+  let rec acquire ~waited =
     match Hashtbl.find_opt t.tbl k with
     | Some (Ready v) ->
         Mutex.unlock t.lock;
+        Metrics.incr t.hits;
         v
     | Some In_progress ->
+        if not waited then Metrics.incr t.waits;
         Condition.wait t.done_cond t.lock;
-        acquire ()
+        acquire ~waited:true
     | None -> (
         Hashtbl.replace t.tbl k In_progress;
         Mutex.unlock t.lock;
+        Metrics.incr t.misses;
         match compute () with
         | v ->
             Mutex.lock t.lock;
@@ -41,7 +52,7 @@ let find_or_compute t k compute =
             Mutex.unlock t.lock;
             Printexc.raise_with_backtrace e bt)
   in
-  acquire ()
+  acquire ~waited:false
 
 let find_opt t k =
   Mutex.lock t.lock;

@@ -10,7 +10,11 @@
 
 type ('k, 'v) t
 
-val create : ?size:int -> unit -> ('k, 'v) t
+val create : ?size:int -> ?name:string -> unit -> ('k, 'v) t
+(** [name] (default ["memo"]) prefixes the table's
+    [Altune_obs.Metrics] counters [<name>.hits], [<name>.misses] and
+    [<name>.waits] (waits = callers that blocked on an in-flight
+    computation instead of duplicating it). *)
 
 val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 (** [find_or_compute t k compute] returns the cached value for [k],

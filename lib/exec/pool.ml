@@ -1,11 +1,28 @@
+module Trace = Altune_obs.Trace
+module Metrics = Altune_obs.Metrics
+
 type event =
   | Task_started of { index : int; label : string }
   | Task_finished of { index : int; label : string; wall_seconds : float }
 
 (* A batch is one map call; tasks carry their batch so that a helper
-   draining the queue can complete tasks of any in-flight batch. *)
+   draining the queue can complete tasks of any in-flight batch.
+   [enqueued_ns]/[submitter] feed the queue-wait histogram and the
+   helping-scheduler steal counter. *)
 type batch = { mutable remaining : int }
-type task = { batch : batch; run : unit -> unit }
+
+type task = {
+  batch : batch;
+  run : unit -> unit;
+  enqueued_ns : int64;
+  submitter : int;  (* domain id that enqueued the task *)
+}
+
+(* Process-wide instruments (shared across pools): where task time goes. *)
+let m_tasks = lazy (Metrics.counter "pool.tasks")
+let m_steals = lazy (Metrics.counter "pool.steals")
+let m_wait = lazy (Metrics.histogram "pool.queue_wait_seconds")
+let m_run = lazy (Metrics.histogram "pool.task_seconds")
 
 type t = {
   n_jobs : int;
@@ -26,6 +43,10 @@ let jobs t = t.n_jobs
    [task.run] never raises (map wraps it). *)
 let step t task =
   Mutex.unlock t.lock;
+  Metrics.observe (Lazy.force m_wait)
+    (Int64.to_float (Int64.sub (Trace.now_ns ()) task.enqueued_ns) /. 1e9);
+  if (Domain.self () :> int) <> task.submitter then
+    Metrics.incr (Lazy.force m_steals);
   task.run ();
   Mutex.lock t.lock;
   task.batch.remaining <- task.batch.remaining - 1;
@@ -83,8 +104,12 @@ let run_batch t thunks =
   let n = Array.length thunks in
   if n > 0 then begin
     let batch = { remaining = n } in
+    let enqueued_ns = Trace.now_ns () in
+    let submitter = (Domain.self () :> int) in
     Mutex.lock t.lock;
-    Array.iter (fun run -> Queue.add { batch; run } t.queue) thunks;
+    Array.iter
+      (fun run -> Queue.add { batch; run; enqueued_ns; submitter } t.queue)
+      thunks;
     Condition.broadcast t.work;
     let rec help () =
       if batch.remaining > 0 then begin
@@ -113,17 +138,25 @@ let mapi ?label t f xs =
   let label i =
     match label with Some l -> l i | None -> Printf.sprintf "task %d" i
   in
+  (* Tasks may execute on any domain; propagating the submitter's trace
+     context keeps the span tree identical at every job count. *)
+  let ctx = Trace.current () in
   let thunks =
     Array.init n (fun i () ->
         match
           let lbl = label i in
           let t0 = Unix.gettimeofday () in
+          Metrics.incr (Lazy.force m_tasks);
           emit t (Task_started { index = i; label = lbl });
-          let v = f i items.(i) in
-          emit t
-            (Task_finished
-               { index = i; label = lbl;
-                 wall_seconds = Unix.gettimeofday () -. t0 });
+          let v =
+            Trace.with_ctx ctx (fun () ->
+                Trace.with_span ~name:"pool.task"
+                  ~attrs:[ ("label", Trace.String lbl); ("index", Trace.Int i) ]
+                  (fun () -> f i items.(i)))
+          in
+          let wall_seconds = Unix.gettimeofday () -. t0 in
+          Metrics.observe (Lazy.force m_run) wall_seconds;
+          emit t (Task_finished { index = i; label = lbl; wall_seconds });
           v
         with
         | v -> results.(i) <- Some v

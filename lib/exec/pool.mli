@@ -16,7 +16,15 @@
     Failure contract: if tasks raise, every task of the batch is still
     executed (no silent loss), and the exception of the {e lowest-indexed}
     failing task is re-raised with its backtrace once the batch has
-    drained. *)
+    drained.
+
+    Observability: every task runs inside an [Altune_obs.Trace] span named
+    ["pool.task"] (with [label]/[index] attributes) parented to the
+    submitter's span context, so traced span trees are identical at any
+    job count.  The pool also feeds process-wide metrics: counters
+    ["pool.tasks"] and ["pool.steals"] (tasks executed by a domain other
+    than their submitter — the helping scheduler at work) and histograms
+    ["pool.queue_wait_seconds"] and ["pool.task_seconds"]. *)
 
 type t
 

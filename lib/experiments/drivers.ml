@@ -16,12 +16,17 @@ let bench_list = function
 (* Fan a per-benchmark computation out across the shared pool.  Each task
    owns its benchmark value exclusively (Spapt.t memoizes ground truth
    internally, so it must not be shared between concurrent tasks); results
-   come back in benchmark order, keeping reports schedule-independent. *)
+   come back in benchmark order, keeping reports schedule-independent.
+   The whole fan-out is one traced span, with each benchmark a child
+   [pool.task] span. *)
 let map_benches ~section f benches =
   let names = Array.of_list (List.map Spapt.name benches) in
-  Pool.map
-    ~label:(fun i -> Printf.sprintf "%s/%s" section names.(i))
-    (Runs.pool ()) f benches
+  Altune_obs.Trace.with_span
+    ~name:(Printf.sprintf "driver.%s" section)
+    (fun () ->
+      Pool.map
+        ~label:(fun i -> Printf.sprintf "%s/%s" section names.(i))
+        (Runs.pool ()) f benches)
 
 (* --- Table 1 --- *)
 

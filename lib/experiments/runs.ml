@@ -5,6 +5,7 @@ module Experiment = Altune_core.Experiment
 module Learner = Altune_core.Learner
 module Pool = Altune_exec.Pool
 module Memo = Altune_exec.Memo
+module Trace = Altune_obs.Trace
 
 type plan_curves = {
   bench : string;
@@ -69,8 +70,8 @@ let pool () =
 (* Compute-once memo tables: Table 1, Figure 5 and Figure 6 share curves,
    and with benchmarks fanned out across domains the memo also guarantees
    two domains never duplicate a multi-minute run of the same key. *)
-let dataset_cache : (string, Dataset.t) Memo.t = Memo.create ()
-let curve_cache : (string, plan_curves) Memo.t = Memo.create ()
+let dataset_cache : (string, Dataset.t) Memo.t = Memo.create ~name:"memo.dataset" ()
+let curve_cache : (string, plan_curves) Memo.t = Memo.create ~name:"memo.curves" ()
 
 let clear_cache () =
   Memo.clear dataset_cache;
@@ -79,10 +80,15 @@ let clear_cache () =
 let dataset_for bench (scale : Scale.t) ~seed =
   let key = Printf.sprintf "%s/%s/%d" (Spapt.name bench) scale.label seed in
   Memo.find_or_compute dataset_cache key (fun () ->
-      let problem = Adapter.problem_of bench in
-      let rng = Rng.create ~seed:(Rng.derive ~seed [ S "dataset"; S key ]) in
-      Dataset.generate problem ~rng ~n_configs:scale.n_configs
-        ~test_fraction:scale.test_fraction ~n_obs:scale.n_obs)
+      Trace.with_span ~name:"runs.dataset" ~phase:"dataset"
+        ~attrs:[ ("key", Trace.String key) ]
+        (fun () ->
+          let problem = Adapter.problem_of bench in
+          let rng =
+            Rng.create ~seed:(Rng.derive ~seed [ S "dataset"; S key ])
+          in
+          Dataset.generate problem ~rng ~n_configs:scale.n_configs
+            ~test_fraction:scale.test_fraction ~n_obs:scale.n_obs))
 
 (* --- Parallel plan execution ----------------------------------------- *)
 
@@ -95,6 +101,9 @@ let curves_for bench (scale : Scale.t) ~seed =
   let name = Spapt.name bench in
   let key = Printf.sprintf "%s/%s/%d" name scale.label seed in
   Memo.find_or_compute curve_cache key (fun () ->
+      Trace.with_span ~name:"runs.curves"
+        ~attrs:[ ("key", Trace.String key) ]
+      @@ fun () ->
       let dataset = dataset_for bench scale ~seed in
       let plans =
         [

@@ -1,0 +1,36 @@
+(** Minimal JSON reader/writer for the observability layer.
+
+    Traces are JSONL (one value per line) and the container has no JSON
+    library, so this is a small, dependency-free implementation: enough
+    of RFC 8259 for machine-generated documents (full string escaping,
+    ints kept distinct from floats so counters round-trip exactly). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Floats print with the shortest
+    representation that parses back to the same value; non-finite floats
+    render as [null] (JSON has no representation for them). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; errors carry a character position.  Numbers
+    without [.]/[e] parse as [Int], everything else as [Float]. *)
+
+val member : string -> t -> t option
+(** First binding of a key in an [Obj]; [None] on other constructors. *)
+
+val to_int_opt : t -> int option
+(** [Int] directly; an integral [Float] converts. *)
+
+val to_float_opt : t -> float option
+(** [Float] directly; an [Int] converts. *)
+
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option

@@ -1,0 +1,74 @@
+type t = {
+  git_rev : string;
+  ocaml_version : string;
+  hostname : string;
+  cores : int;
+  scale : string;
+  jobs : int;
+  seed : int;
+}
+
+(* First stdout line of [cmd], or [""] on any failure (no git, not a
+   repository, sandboxed build dir...). *)
+let first_line_of cmd =
+  try
+    let ic = Unix.open_process_in cmd in
+    let line = try input_line ic with End_of_file -> "" in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 -> ()
+    | _ -> raise Exit);
+    String.trim line
+  with _ -> ""
+
+let git_rev () =
+  match first_line_of "git rev-parse --short=12 HEAD 2>/dev/null" with
+  | "" -> "unknown"
+  | rev -> rev
+
+let capture ?(scale = "") ?(jobs = 0) ?(seed = 0) () =
+  {
+    git_rev = git_rev ();
+    ocaml_version = Sys.ocaml_version;
+    hostname = (try Unix.gethostname () with _ -> "unknown");
+    cores = Domain.recommended_domain_count ();
+    scale;
+    jobs;
+    seed;
+  }
+
+let fields t =
+  [
+    ("git_rev", Json.String t.git_rev);
+    ("ocaml", Json.String t.ocaml_version);
+    ("host", Json.String t.hostname);
+    ("cores", Json.Int t.cores);
+    ("scale", Json.String t.scale);
+    ("jobs", Json.Int t.jobs);
+    ("seed", Json.Int t.seed);
+  ]
+
+let to_json t = Json.Obj (("ev", Json.String "manifest") :: fields t)
+
+let of_json j =
+  let str key = Option.bind (Json.member key j) Json.to_string_opt in
+  let int key = Option.bind (Json.member key j) Json.to_int_opt in
+  match (str "git_rev", str "ocaml", str "host", int "cores") with
+  | Some git_rev, Some ocaml_version, Some hostname, Some cores ->
+      Ok
+        {
+          git_rev;
+          ocaml_version;
+          hostname;
+          cores;
+          scale = Option.value ~default:"" (str "scale");
+          jobs = Option.value ~default:0 (int "jobs");
+          seed = Option.value ~default:0 (int "seed");
+        }
+  | _ -> Error "manifest: missing git_rev/ocaml/host/cores"
+
+let summary t =
+  Printf.sprintf
+    "git=%s ocaml=%s host=%s cores=%d scale=%s jobs=%d seed=%d" t.git_rev
+    t.ocaml_version t.hostname t.cores
+    (if t.scale = "" then "-" else t.scale)
+    t.jobs t.seed

@@ -1,0 +1,30 @@
+(** Run manifest: the provenance record stamped onto every trace and
+    every [BENCH_harness.json] entry, so numbers measured on different
+    machines/commits (e.g. the jobs=1 vs jobs=4 wall times) stay
+    interpretable. *)
+
+type t = {
+  git_rev : string;  (** [git rev-parse --short=12 HEAD], or ["unknown"]. *)
+  ocaml_version : string;
+  hostname : string;
+  cores : int;  (** [Domain.recommended_domain_count ()]. *)
+  scale : string;  (** Experiment scale label ([""] when not applicable). *)
+  jobs : int;
+  seed : int;
+}
+
+val capture : ?scale:string -> ?jobs:int -> ?seed:int -> unit -> t
+(** Probe the environment.  Defaults: [scale=""], [jobs=0], [seed=0]
+    (meaning "not applicable"). *)
+
+val to_json : t -> Json.t
+(** As a JSON object tagged ["ev":"manifest"] — a valid trace line. *)
+
+val of_json : Json.t -> (t, string) result
+
+val fields : t -> (string * Json.t) list
+(** The manifest's fields without the ["ev"] tag, for inlining into
+    other records (e.g. a [BENCH_harness.json] entry). *)
+
+val summary : t -> string
+(** One-line human-readable rendering. *)

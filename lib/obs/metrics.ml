@@ -1,0 +1,179 @@
+type counter = { c_name : string; value : int Atomic.t }
+type gauge = { g_name : string; level : float Atomic.t }
+
+type histogram = {
+  h_name : string;
+  edges : float array;  (* strictly increasing upper bounds *)
+  buckets : int Atomic.t array;  (* length = Array.length edges + 1 *)
+  sum : float Atomic.t;
+  count : int Atomic.t;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let counter name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (C c) -> c
+      | Some _ ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S is not a counter" name)
+      | None ->
+          let c = { c_name = name; value = Atomic.make 0 } in
+          Hashtbl.replace registry name (C c);
+          c)
+
+let incr c = Atomic.incr c.value
+let add c n = ignore (Atomic.fetch_and_add c.value n)
+let counter_value c = Atomic.get c.value
+
+let gauge name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (G g) -> g
+      | Some _ ->
+          invalid_arg (Printf.sprintf "Metrics: %S is not a gauge" name)
+      | None ->
+          let g = { g_name = name; level = Atomic.make 0.0 } in
+          Hashtbl.replace registry name (G g);
+          g)
+
+let set_gauge g v = Atomic.set g.level v
+let gauge_value g = Atomic.get g.level
+
+let default_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0; 100.0 |]
+
+let validate_edges edges =
+  if Array.length edges = 0 then
+    invalid_arg "Metrics.histogram: empty bucket edges";
+  Array.iteri
+    (fun i e ->
+      if not (Float.is_finite e) then
+        invalid_arg "Metrics.histogram: non-finite bucket edge";
+      if i > 0 && e <= edges.(i - 1) then
+        invalid_arg "Metrics.histogram: bucket edges must strictly increase")
+    edges
+
+let histogram ?(buckets = default_buckets) name =
+  validate_edges buckets;
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (H h) ->
+          if h.edges <> buckets then
+            invalid_arg
+              (Printf.sprintf
+                 "Metrics: %S already registered with different buckets" name);
+          h
+      | Some _ ->
+          invalid_arg (Printf.sprintf "Metrics: %S is not a histogram" name)
+      | None ->
+          let h =
+            {
+              h_name = name;
+              edges = Array.copy buckets;
+              buckets =
+                Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+              sum = Atomic.make 0.0;
+              count = Atomic.make 0;
+            }
+          in
+          Hashtbl.replace registry name (H h);
+          h)
+
+let bucket_index h v =
+  let n = Array.length h.edges in
+  let rec find i = if i >= n then n else if v <= h.edges.(i) then i else find (i + 1) in
+  find 0
+
+let observe h v =
+  Atomic.incr h.buckets.(bucket_index h v);
+  Atomic.incr h.count;
+  let rec cas_add () =
+    let old = Atomic.get h.sum in
+    if not (Atomic.compare_and_set h.sum old (old +. v)) then cas_add ()
+  in
+  cas_add ()
+
+let histogram_count h = Atomic.get h.count
+let histogram_sum h = Atomic.get h.sum
+
+let bucket_counts h =
+  List.init
+    (Array.length h.buckets)
+    (fun i ->
+      let edge =
+        if i < Array.length h.edges then h.edges.(i) else infinity
+      in
+      (edge, Atomic.get h.buckets.(i)))
+
+let sorted_instruments () =
+  with_registry (fun () ->
+      Hashtbl.fold (fun name i acc -> (name, i) :: acc) registry [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot () =
+  Json.Obj
+    (List.map
+       (fun (name, i) ->
+         ( name,
+           match i with
+           | C c -> Json.Int (counter_value c)
+           | G g -> Json.Float (gauge_value g)
+           | H h ->
+               Json.Obj
+                 [
+                   ("count", Json.Int (histogram_count h));
+                   ("sum", Json.Float (histogram_sum h));
+                   ( "buckets",
+                     Json.List
+                       (List.map
+                          (fun (edge, n) ->
+                            Json.Obj
+                              [
+                                ( "le",
+                                  if Float.is_finite edge then Json.Float edge
+                                  else Json.String "inf" );
+                                ("n", Json.Int n);
+                              ])
+                          (bucket_counts h)) );
+                 ] ))
+       (sorted_instruments ()))
+
+let render () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "--- metrics ---\n";
+  List.iter
+    (fun (name, i) ->
+      match i with
+      | C c -> Buffer.add_string buf (Printf.sprintf "%-32s %d\n" name (counter_value c))
+      | G g -> Buffer.add_string buf (Printf.sprintf "%-32s %g\n" name (gauge_value g))
+      | H h ->
+          let count = histogram_count h in
+          let mean =
+            if count = 0 then 0.0 else histogram_sum h /. float_of_int count
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%-32s count=%d sum=%.6g mean=%.6g\n" name count
+               (histogram_sum h) mean);
+          List.iter
+            (fun (edge, n) ->
+              if n > 0 then
+                Buffer.add_string buf
+                  (if Float.is_finite edge then
+                     Printf.sprintf "  %-30s %d\n"
+                       (Printf.sprintf "le %.0e" edge)
+                       n
+                   else Printf.sprintf "  %-30s %d\n" "le inf" n))
+            (bucket_counts h))
+    (sorted_instruments ());
+  Buffer.contents buf
+
+let reset () = with_registry (fun () -> Hashtbl.reset registry)

@@ -1,0 +1,54 @@
+(** Process-wide metrics registry: counters, gauges, and fixed-bucket
+    histograms with lock-free atomic updates, safe under
+    {!Altune_exec.Pool} parallelism.
+
+    Instruments are registered by name; asking for an existing name
+    returns the same instrument (so a library and its caller can share
+    ["pool.steals"] without plumbing).  Registering a name as two
+    different kinds, or a histogram with different bucket edges, raises
+    [Invalid_argument].
+
+    Updates never allocate under contention except the histogram sum's
+    CAS retry loop; reads ({!snapshot}, {!render}) are O(instruments)
+    and safe at any time. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val default_buckets : float array
+(** Log-spaced seconds: 1us .. 100s. *)
+
+val histogram : ?buckets:float array -> string -> histogram
+(** [buckets] are strictly increasing upper bounds; an implicit
+    overflow bucket collects values above the last edge.  A value [v]
+    lands in the first bucket with [v <= edge]. *)
+
+val observe : histogram -> float -> unit
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val bucket_counts : histogram -> (float * int) list
+(** [(upper_edge, count)] per bucket; the overflow bucket reports
+    [infinity] as its edge. *)
+
+val snapshot : unit -> Json.t
+(** All instruments as one JSON object (sorted by name), e.g. for
+    embedding in a trace. *)
+
+val render : unit -> string
+(** Human-readable dump, sorted by name, for [--metrics]. *)
+
+val reset : unit -> unit
+(** Drop every registered instrument (tests).  Instruments already held
+    by callers keep working but are no longer reported. *)

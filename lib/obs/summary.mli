@@ -1,0 +1,47 @@
+(** Aggregate a JSONL trace into a per-phase time breakdown — the
+    [altune trace-summary] engine.
+
+    Attribution is by {e physical self time}: execution on one domain is
+    single-threaded, so a domain's spans nest by interval containment —
+    including spans the pool's helping scheduler ran inline inside
+    another task's wait loop, which are logically parented elsewhere —
+    and each span is charged its duration minus its immediate
+    physically-nested spans (clamped at zero).  Self times therefore
+    partition each domain's covered time, so the per-phase seconds sum
+    to the total attributed (busy) time exactly; at [jobs=1] that equals
+    wall time up to tracing overhead, which is how the CI tripwire turns
+    a share bound into a cheap perf regression check. *)
+
+type phase_row = {
+  phase : string;  (** Phase label, or ["(other)"] for unphased spans. *)
+  span_count : int;
+  total_s : float;  (** Sum of span durations (includes children). *)
+  self_s : float;  (** Sum of self times — the attributed seconds. *)
+}
+
+type t = {
+  manifest : Manifest.t option;
+  span_count : int;
+  error_count : int;  (** Spans emitted with ["err":true]. *)
+  domain_count : int;
+  wall_s : float;  (** Latest span end minus earliest span start. *)
+  busy_s : float;  (** Sum of all self times. *)
+  rows : phase_row list;  (** Sorted by [self_s], descending. *)
+}
+
+val of_lines : string list -> (t, string) result
+(** Parse trace lines.  Unknown ["ev"] kinds are ignored (forward
+    compatibility); a malformed line is an error.  An empty trace (no
+    spans) is an error. *)
+
+val of_file : string -> (t, string) result
+
+val share : t -> phase_row -> float
+(** A phase's share of busy time, in percent. *)
+
+val render : t -> string
+
+val violations : t -> max_share:float -> string list
+(** Human-readable violations for phases whose share of busy time
+    exceeds [max_share] percent; empty when all phases are within
+    bounds. *)

@@ -1,0 +1,427 @@
+(* The observability layer: JSON round-trips, span nesting and ordering
+   under Pool fan-out (the span tree must be identical at any job count),
+   histogram bucket edges, atomic counter contention, manifest
+   round-trips, trace-summary self-time attribution, and the guarantee
+   that tracing never changes experiment output. *)
+
+module Json = Altune_obs.Json
+module Trace = Altune_obs.Trace
+module Metrics = Altune_obs.Metrics
+module Manifest = Altune_obs.Manifest
+module Summary = Altune_obs.Summary
+module Pool = Altune_exec.Pool
+module Runs = Altune_experiments.Runs
+module Scale = Altune_experiments.Scale
+module Drivers = Altune_experiments.Drivers
+
+(* --- JSON -------------------------------------------------------------- *)
+
+let rec json_eq a b =
+  match (a, b) with
+  | Json.Null, Json.Null -> true
+  | Json.Bool x, Json.Bool y -> x = y
+  | Json.Int x, Json.Int y -> x = y
+  | Json.Float x, Json.Float y -> Float.equal x y
+  | Json.String x, Json.String y -> String.equal x y
+  | Json.List xs, Json.List ys ->
+      List.length xs = List.length ys && List.for_all2 json_eq xs ys
+  | Json.Obj xs, Json.Obj ys ->
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && json_eq v1 v2)
+           xs ys
+  | _ -> false
+
+let roundtrip j =
+  match Json.of_string (Json.to_string j) with
+  | Ok j' -> j'
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Int 0;
+      Json.Int (-42);
+      Json.Int max_int;
+      Json.Float 0.1;
+      Json.Float 1e-9;
+      Json.Float (-3.25);
+      Json.Float 1.7976931348623157e308;
+      Json.String "";
+      Json.String "with \"quotes\", \\ and \n\t control \x01 chars";
+      Json.List [ Json.Int 1; Json.String "two"; Json.Null ];
+      Json.Obj
+        [
+          ("a", Json.Int 1);
+          ("nested", Json.Obj [ ("b", Json.List [ Json.Bool false ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      Alcotest.(check bool)
+        (Printf.sprintf "round-trip %s" (Json.to_string j))
+        true
+        (json_eq j (roundtrip j)))
+    samples
+
+let test_json_int_float_distinct () =
+  (* Counters must round-trip as ints; durations as floats. *)
+  Alcotest.(check bool) "int stays int" true
+    (match Json.of_string "17" with Ok (Json.Int 17) -> true | _ -> false);
+  Alcotest.(check bool) "float stays float" true
+    (match Json.of_string "17.0" with
+    | Ok (Json.Float f) -> Float.equal f 17.0
+    | _ -> false);
+  Alcotest.(check bool) "int renders bare" true
+    (String.equal (Json.to_string (Json.Int 17)) "17");
+  Alcotest.(check bool) "float renders with point" true
+    (String.contains (Json.to_string (Json.Float 17.0)) '.')
+
+let test_json_errors () =
+  let bad = [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated" ] in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected parse error for %S" s)
+    bad
+
+(* --- Span trees across job counts -------------------------------------- *)
+
+(* Canonical form of a trace: the span tree with children ordered by a
+   stable key (name + index attribute), ignoring ids, timings and
+   domains.  Two runs of the same traced program must produce the same
+   canonical tree regardless of job count. *)
+let canonical_tree lines =
+  let spans =
+    List.filter_map
+      (fun line ->
+        match Json.of_string line with
+        | Error e -> Alcotest.failf "bad trace line %S: %s" line e
+        | Ok j -> (
+            match Json.member "ev" j with
+            | Some (Json.String "span") ->
+                let id =
+                  match Option.bind (Json.member "id" j) Json.to_int_opt with
+                  | Some i -> i
+                  | None -> Alcotest.failf "span without id: %s" line
+                in
+                let parent =
+                  Option.bind (Json.member "parent" j) Json.to_int_opt
+                in
+                let name =
+                  match
+                    Option.bind (Json.member "name" j) Json.to_string_opt
+                  with
+                  | Some n -> n
+                  | None -> Alcotest.failf "span without name: %s" line
+                in
+                let index =
+                  Option.bind
+                    (Option.bind (Json.member "attrs" j)
+                       (Json.member "index"))
+                    Json.to_int_opt
+                in
+                Some (id, (parent, name, index))
+            | _ -> None))
+      lines
+  in
+  let children = Hashtbl.create 64 in
+  let roots = ref [] in
+  List.iter
+    (fun (id, (parent, name, index)) ->
+      match parent with
+      | Some p -> Hashtbl.add children p (id, name, index)
+      | None -> roots := (id, name, index) :: !roots)
+    spans;
+  let rec render (id, name, index) =
+    let kids =
+      Hashtbl.find_all children id
+      |> List.sort (fun (_, n1, i1) (_, n2, i2) ->
+             match String.compare n1 n2 with
+             | 0 -> compare (i1 : int option) i2
+             | c -> c)
+    in
+    Printf.sprintf "%s%s(%s)" name
+      (match index with Some i -> Printf.sprintf "[%d]" i | None -> "")
+      (String.concat "," (List.map render kids))
+  in
+  !roots
+  |> List.sort (fun (_, n1, i1) (_, n2, i2) ->
+         match String.compare n1 n2 with
+         | 0 -> compare (i1 : int option) i2
+         | c -> c)
+  |> List.map render |> String.concat ";"
+
+let traced_workload ~jobs () =
+  Pool.with_pool ~jobs (fun p ->
+      Trace.with_span ~name:"root" (fun () ->
+          Trace.with_span ~name:"setup" ~phase:"dataset" (fun () -> ());
+          ignore
+            (Pool.mapi p
+               (fun i x ->
+                 Trace.with_span ~name:"work" ~phase:"profiling"
+                   ~attrs:[ ("index", Trace.Int i) ]
+                   (fun () -> x * x))
+               (List.init 8 (fun i -> i)))))
+
+let test_span_tree_stable_across_jobs () =
+  let tree_at jobs =
+    let (), lines = Trace.with_memory (traced_workload ~jobs) in
+    canonical_tree lines
+  in
+  let t1 = tree_at 1 and t4 = tree_at 4 in
+  Alcotest.(check string) "same span tree at jobs=1 and jobs=4" t1 t4;
+  (* And the tree really has the expected logical shape: every pool task
+     is a child of [root] even when it ran on another domain. *)
+  Alcotest.(check bool) "tasks parented under root" true
+    (let expected_task i =
+       Printf.sprintf "pool.task[%d](work[%d]())" i i
+     in
+     String.equal t1
+       (Printf.sprintf "root(%s,setup())"
+          (String.concat "," (List.init 8 expected_task))))
+
+let test_span_error_flag () =
+  let (), lines =
+    Trace.with_memory (fun () ->
+        try
+          Trace.with_span ~name:"boom" (fun () -> failwith "x")
+        with Failure _ -> ())
+  in
+  let errs =
+    List.filter
+      (fun l ->
+        match Json.of_string l with
+        | Ok j -> (
+            match
+              Option.bind (Json.member "err" j) Json.to_bool_opt
+            with
+            | Some b -> b
+            | None -> false)
+        | Error _ -> false)
+      lines
+  in
+  Alcotest.(check int) "one err span" 1 (List.length errs)
+
+let test_add_attrs () =
+  let (), lines =
+    Trace.with_memory (fun () ->
+        Trace.with_span ~name:"outer" (fun () ->
+            Trace.add_attrs [ ("late", Trace.Int 9) ]))
+  in
+  let found =
+    List.exists
+      (fun l ->
+        match Json.of_string l with
+        | Ok j ->
+            Option.bind
+              (Option.bind (Json.member "attrs" j) (Json.member "late"))
+              Json.to_int_opt
+            = Some 9
+        | Error _ -> false)
+      lines
+  in
+  Alcotest.(check bool) "late attr recorded" true found
+
+(* --- Metrics ------------------------------------------------------------ *)
+
+let test_histogram_edges () =
+  Metrics.reset ();
+  let h = Metrics.histogram ~buckets:[| 1.0; 2.0; 5.0 |] "t.hist" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 5.0; 7.0 ];
+  Alcotest.(check int) "count" 6 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 17.0 (Metrics.histogram_sum h);
+  (* A value lands in the first bucket with v <= edge; 7.0 overflows. *)
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "bucket counts"
+    [ (1.0, 2); (2.0, 2); (5.0, 1); (infinity, 1) ]
+    (Metrics.bucket_counts h)
+
+let test_histogram_bad_buckets () =
+  Metrics.reset ();
+  (match Metrics.histogram ~buckets:[||] "t.empty" with
+  | _ -> Alcotest.fail "empty buckets accepted"
+  | exception Invalid_argument _ -> ());
+  match Metrics.histogram ~buckets:[| 1.0; 1.0 |] "t.flat" with
+  | _ -> Alcotest.fail "non-increasing buckets accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_registry_identity_and_kinds () =
+  Metrics.reset ();
+  let c1 = Metrics.counter "t.shared" in
+  let c2 = Metrics.counter "t.shared" in
+  Metrics.incr c1;
+  Metrics.incr c2;
+  Alcotest.(check int) "same instrument" 2 (Metrics.counter_value c1);
+  (match Metrics.gauge "t.shared" with
+  | _ -> Alcotest.fail "kind mismatch accepted"
+  | exception Invalid_argument _ -> ());
+  let _h = Metrics.histogram ~buckets:[| 1.0 |] "t.h" in
+  match Metrics.histogram ~buckets:[| 2.0 |] "t.h" with
+  | _ -> Alcotest.fail "bucket mismatch accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_counter_contention () =
+  Metrics.reset ();
+  let c = Metrics.counter "t.contended" in
+  let h = Metrics.histogram ~buckets:[| 0.5; 1.5 |] "t.contended.h" in
+  let per_task = 10_000 in
+  Pool.with_pool ~jobs:4 (fun p ->
+      ignore
+        (Pool.map p
+           (fun _ ->
+             for _ = 1 to per_task do
+               Metrics.incr c;
+               Metrics.observe h 1.0
+             done)
+           (List.init 8 (fun i -> i))));
+  Alcotest.(check int) "no lost increments" (8 * per_task)
+    (Metrics.counter_value c);
+  Alcotest.(check int) "no lost observations" (8 * per_task)
+    (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-6))
+    "atomic float sum" (float_of_int (8 * per_task))
+    (Metrics.histogram_sum h)
+
+(* --- Manifest ----------------------------------------------------------- *)
+
+let test_manifest_roundtrip () =
+  let m = Manifest.capture ~scale:"smoke" ~jobs:2 ~seed:42 () in
+  let line = Json.to_string (Manifest.to_json m) in
+  match Json.of_string line with
+  | Error e -> Alcotest.failf "manifest reparse: %s" e
+  | Ok j -> (
+      match Manifest.of_json j with
+      | Error e -> Alcotest.failf "manifest of_json: %s" e
+      | Ok m' ->
+          Alcotest.(check bool) "round-trips" true (m = m');
+          Alcotest.(check string) "scale kept" "smoke" m'.Manifest.scale;
+          Alcotest.(check int) "jobs kept" 2 m'.Manifest.jobs;
+          Alcotest.(check int) "seed kept" 42 m'.Manifest.seed;
+          Alcotest.(check bool) "cores probed" true (m'.Manifest.cores >= 1))
+
+(* --- Summary ------------------------------------------------------------ *)
+
+let span ~id ?parent ~name ?phase ~start ~dur () =
+  Json.to_string
+    (Json.Obj
+       ([ ("ev", Json.String "span"); ("id", Json.Int id) ]
+       @ (match parent with
+         | Some p -> [ ("parent", Json.Int p) ]
+         | None -> [])
+       @ [ ("name", Json.String name) ]
+       @ (match phase with
+         | Some p -> [ ("phase", Json.String p) ]
+         | None -> [])
+       @ [
+           ("domain", Json.Int 0);
+           ("start", Json.Float start);
+           ("dur", Json.Float dur);
+         ]))
+
+let test_summary_self_time () =
+  (* root [0,10] with children profiling [1,4] and alc [5,7]:
+     self(root) = 10 - 3 - 2 = 5, all attributed to "(other)". *)
+  let lines =
+    [
+      Json.to_string
+        (Manifest.to_json (Manifest.capture ~scale:"smoke" ~jobs:1 ()));
+      span ~id:1 ~name:"root" ~start:0.0 ~dur:10.0 ();
+      span ~id:2 ~parent:1 ~name:"p" ~phase:"profiling" ~start:1.0 ~dur:3.0
+        ();
+      span ~id:3 ~parent:1 ~name:"a" ~phase:"alc" ~start:5.0 ~dur:2.0 ();
+    ]
+  in
+  match Summary.of_lines lines with
+  | Error e -> Alcotest.failf "summary: %s" e
+  | Ok s ->
+      Alcotest.(check int) "span count" 3 s.Summary.span_count;
+      Alcotest.(check (float 1e-9)) "wall" 10.0 s.Summary.wall_s;
+      Alcotest.(check (float 1e-9)) "busy" 10.0 s.Summary.busy_s;
+      let self phase =
+        match
+          List.find_opt
+            (fun r -> String.equal r.Summary.phase phase)
+            s.Summary.rows
+        with
+        | Some r -> r.Summary.self_s
+        | None -> Alcotest.failf "missing phase %s" phase
+      in
+      Alcotest.(check (float 1e-9)) "(other) self" 5.0 (self "(other)");
+      Alcotest.(check (float 1e-9)) "profiling self" 3.0 (self "profiling");
+      Alcotest.(check (float 1e-9)) "alc self" 2.0 (self "alc");
+      Alcotest.(check bool) "manifest recovered" true
+        (match s.Summary.manifest with
+        | Some m -> String.equal m.Manifest.scale "smoke"
+        | None -> false);
+      Alcotest.(check (list string)) "no violations at 55%" []
+        (Summary.violations s ~max_share:55.0);
+      Alcotest.(check int) "violation below 45%" 1
+        (List.length (Summary.violations s ~max_share:45.0))
+
+let test_summary_rejects_garbage () =
+  (match Summary.of_lines [] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty trace accepted");
+  match Summary.of_lines [ "not json" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed line accepted"
+
+(* --- Tracing must not change results ------------------------------------ *)
+
+let test_output_identical_with_tracing () =
+  let run () =
+    Runs.clear_cache ();
+    Drivers.table1 ~benchmarks:[ "hessian" ] ~scale:Scale.smoke ~seed:1 ()
+  in
+  let plain = run () in
+  let traced, lines = Trace.with_memory run in
+  Alcotest.(check string) "byte-identical table" plain traced;
+  Alcotest.(check bool) "trace non-empty" true (List.length lines > 0);
+  Runs.clear_cache ()
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "int/float distinct" `Quick
+            test_json_int_float_distinct;
+          Alcotest.test_case "parse errors" `Quick test_json_errors;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span tree stable across jobs" `Quick
+            test_span_tree_stable_across_jobs;
+          Alcotest.test_case "error flag" `Quick test_span_error_flag;
+          Alcotest.test_case "add_attrs" `Quick test_add_attrs;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
+          Alcotest.test_case "bad buckets" `Quick test_histogram_bad_buckets;
+          Alcotest.test_case "registry identity and kinds" `Quick
+            test_registry_identity_and_kinds;
+          Alcotest.test_case "counter contention" `Quick
+            test_counter_contention;
+        ] );
+      ( "manifest",
+        [ Alcotest.test_case "round-trip" `Quick test_manifest_roundtrip ] );
+      ( "summary",
+        [
+          Alcotest.test_case "self-time attribution" `Quick
+            test_summary_self_time;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_summary_rejects_garbage;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "output identical with tracing" `Slow
+            test_output_identical_with_tracing;
+        ] );
+    ]
