@@ -8,7 +8,9 @@
    bit-identical at any job count), --benchmarks a,b to restrict the
    benchmark set, --progress for live per-task reporting, --trace FILE
    to record a JSONL span trace (summarize with `altune trace-summary`),
-   --metrics to dump the metrics registry to stderr at exit, or a subset
+   --events FILE to record the learner decision stream (render with
+   `altune report`), --metrics to dump the metrics registry to stderr
+   at exit, or a subset
    of section names (table1 table2 fig1 fig2 fig5 fig6 ablation micro)
    to run only those.  Per-section wall times are appended to
    BENCH_harness.json, stamped with the run manifest (host, cores, git
@@ -22,6 +24,7 @@ module Pool = Altune_exec.Pool
 module Trace = Altune_obs.Trace
 module Metrics = Altune_obs.Metrics
 module Manifest = Altune_obs.Manifest
+module Events = Altune_obs.Events
 
 (* (section id, wall seconds) of every section run, for BENCH_harness.json. *)
 let timings : (string * float) list ref = ref []
@@ -276,6 +279,14 @@ let () =
     in
     find args
   in
+  let events =
+    let rec find = function
+      | "--events" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   let metrics = List.mem "--metrics" args in
   let progress = List.mem "--progress" args in
   let on_event =
@@ -333,6 +344,12 @@ let () =
         (fun () -> Drivers.ablation ~scale ~seed ());
     if wanted "micro" then
       section "micro" "Micro-benchmarks (Bechamel)" (fun () -> run_micro ())
+  in
+  let run_all () =
+    match events with
+    | None -> run_all ()
+    | Some path ->
+        Events.with_file path ~manifest:(Manifest.to_json manifest) run_all
   in
   (match trace with
   | None -> run_all ()

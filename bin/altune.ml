@@ -16,6 +16,9 @@ module Trace = Altune_obs.Trace
 module Obs_metrics = Altune_obs.Metrics
 module Manifest = Altune_obs.Manifest
 module Summary = Altune_obs.Summary
+module Events = Altune_obs.Events
+module Bench_diff = Altune_obs.Bench_diff
+module Web_report = Altune_report.Web_report
 open Cmdliner
 
 let scale_arg =
@@ -80,24 +83,44 @@ let metrics_term =
           "Dump the metrics registry (pool queue waits, steals, memo \
            hit/miss counters, ...) to stderr after the command.")
 
-(* Run [f] under the observability requested on the command line: a JSONL
-   file sink stamped with the run manifest, a top-level span named after
-   the subcommand, and an optional metrics dump.  Experiment stdout is
-   produced by [f] as usual and stays byte-identical either way. *)
-let with_obs ~command ~trace ~metrics ~scale_label ~seed f =
+let events_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:
+          "Write the learner's decision stream (selections with scores and \
+           revisit flags, per-evaluation RMSE, reference-set variance and \
+           tree-shape introspection) as JSONL to $(docv).  The stream is \
+           byte-identical at any $(b,--jobs) count and never changes \
+           experiment output.  Render with $(b,altune report).")
+
+(* Run [f] under the observability requested on the command line: JSONL
+   trace and learner-event sinks stamped with the run manifest, a
+   top-level span named after the subcommand, and an optional metrics
+   dump.  Experiment stdout is produced by [f] as usual and stays
+   byte-identical either way. *)
+let with_obs ~command ~trace ~events ~metrics ~scale_label ~seed f =
   let body () =
     Trace.with_span ~name:"command"
       ~attrs:[ ("command", Trace.String command) ]
       f
   in
+  let manifest () =
+    Manifest.to_json
+      (Manifest.capture ~scale:scale_label ~jobs:(Runs.jobs ()) ~seed ())
+  in
+  let with_events g =
+    match events with
+    | None -> g ()
+    | Some path -> Events.with_file path ~manifest:(manifest ()) g
+  in
   let result =
     match trace with
-    | None -> f ()
+    | None -> with_events f
     | Some path ->
-        let manifest =
-          Manifest.capture ~scale:scale_label ~jobs:(Runs.jobs ()) ~seed ()
-        in
-        Trace.with_file path ~manifest:(Manifest.to_json manifest) body
+        Trace.with_file path ~manifest:(manifest ()) (fun () ->
+            with_events body)
   in
   if metrics then prerr_string (Obs_metrics.render ());
   result
@@ -130,15 +153,15 @@ let simple_cmd name ~doc f =
   let command = name in
   let term =
     Term.(
-      const (fun scale seed jobs benchmarks trace metrics ->
+      const (fun scale seed jobs benchmarks trace events metrics ->
           check_benchmarks benchmarks;
           apply_jobs jobs;
-          with_obs ~command ~trace ~metrics
+          with_obs ~command ~trace ~events ~metrics
             ~scale_label:scale.Scale.label ~seed (fun () ->
               print_string (f ?benchmarks ~scale ~seed ());
               print_newline ()))
       $ scale_term $ seed_term $ jobs_term $ benchmarks_term $ trace_term
-      $ metrics_term)
+      $ events_term $ metrics_term)
   in
   Cmd.v (Cmd.info name ~doc) term
 
@@ -146,13 +169,14 @@ let nobench_cmd name ~doc f =
   let command = name in
   let term =
     Term.(
-      const (fun scale seed jobs trace metrics ->
+      const (fun scale seed jobs trace events metrics ->
           apply_jobs jobs;
-          with_obs ~command ~trace ~metrics
+          with_obs ~command ~trace ~events ~metrics
             ~scale_label:scale.Scale.label ~seed (fun () ->
               print_string (f ~scale ~seed ());
               print_newline ()))
-      $ scale_term $ seed_term $ jobs_term $ trace_term $ metrics_term)
+      $ scale_term $ seed_term $ jobs_term $ trace_term $ events_term
+      $ metrics_term)
   in
   Cmd.v (Cmd.info name ~doc) term
 
@@ -187,14 +211,14 @@ let fig6_cmd =
 let ablation_cmd =
   let term =
     Term.(
-      const (fun scale seed jobs bench trace metrics ->
+      const (fun scale seed jobs bench trace events metrics ->
           apply_jobs jobs;
-          with_obs ~command:"ablation" ~trace ~metrics
+          with_obs ~command:"ablation" ~trace ~events ~metrics
             ~scale_label:scale.Scale.label ~seed (fun () ->
               print_string (Drivers.ablation ~bench ~scale ~seed ());
               print_newline ()))
       $ scale_term $ seed_term $ jobs_term $ bench_term ~default:"gemver"
-      $ trace_term $ metrics_term)
+      $ trace_term $ events_term $ metrics_term)
   in
   Cmd.v
     (Cmd.info "ablation"
@@ -376,19 +400,139 @@ let trace_summary_cmd =
           self-time, with an optional per-phase share bound for CI.")
     term
 
+let report_cmd =
+  let files_term =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"FILES"
+          ~doc:
+            "Input files: learner event streams ($(b,--events)), JSONL \
+             traces ($(b,--trace)) and bench timing arrays \
+             (BENCH_harness.json), in any mix.")
+  in
+  let out_term =
+    Arg.(
+      value & opt string "report.html"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Where to write the HTML report.")
+  in
+  let csv_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Also export the learner event stream as CSV to $(docv).")
+  in
+  let term =
+    Term.(
+      const (fun files out csv ->
+          match Web_report.load files with
+          | Error e ->
+              Printf.eprintf "report: %s\n" e;
+              Stdlib.exit 1
+          | Ok inputs ->
+              let oc = open_out out in
+              output_string oc (Web_report.render inputs);
+              close_out oc;
+              (match csv with
+              | None -> ()
+              | Some path ->
+                  Web_report.write_events_csv ~path inputs.events);
+              Printf.printf
+                "report: wrote %s (%d learner events, %d bench records%s)\n"
+                out
+                (List.length inputs.events)
+                (List.length inputs.bench)
+                (match csv with
+                | None -> ""
+                | Some path -> Printf.sprintf "; CSV in %s" path))
+      $ files_term $ out_term $ csv_term)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render event streams, traces and bench timings into one \
+          self-contained HTML report with inline SVG charts \
+          (error-vs-cost, variance decay, revisit fraction, sensitivity \
+          bars) — no external assets.")
+    term
+
+let bench_diff_cmd =
+  let baseline_term =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline BENCH_harness.json.")
+  in
+  let current_term =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CURRENT" ~doc:"Current BENCH_harness.json.")
+  in
+  let max_regress_term =
+    Arg.(
+      value & opt float 25.0
+      & info [ "max-regress" ] ~docv:"PCT"
+          ~doc:
+            "Fail (exit 1) if any comparable section slowed down by more \
+             than $(docv) percent.")
+  in
+  let term =
+    Term.(
+      const (fun baseline current max_regress ->
+          let load name path =
+            match Bench_diff.load path with
+            | Ok records -> records
+            | Error e ->
+                Printf.eprintf "bench-diff: %s: %s\n" name e;
+                Stdlib.exit 1
+          in
+          let d =
+            Bench_diff.diff
+              ~baseline:(load "baseline" baseline)
+              ~current:(load "current" current)
+          in
+          print_string (Bench_diff.render ~max_regress d);
+          match Bench_diff.regressions ~max_regress d with
+          | [] ->
+              Printf.printf
+                "bench-diff: no regression beyond %.1f%% (%d comparable \
+                 section(s))\n"
+                max_regress
+                (List.length d.deltas)
+          | rs ->
+              Printf.printf "bench-diff: %d section(s) regressed beyond %.1f%%\n"
+                (List.length rs) max_regress;
+              Stdlib.exit 1)
+      $ baseline_term $ current_term $ max_regress_term)
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two BENCH_harness.json files and fail on timing \
+          regressions.  Only records whose manifest matches (same host, \
+          cores, scale and job count) are compared; anything else — other \
+          machines, pre-manifest history — is skipped, never guessed at.")
+    term
+
 let tune_cmd =
   let term =
     Term.(
-      const (fun scale seed bench trace metrics ->
-          with_obs ~command:"tune" ~trace ~metrics
+      const (fun scale seed bench trace events metrics ->
+          with_obs ~command:"tune" ~trace ~events ~metrics
             ~scale_label:scale.Scale.label ~seed
           @@ fun () ->
           let b = Spapt.create bench in
           let problem = Adapter.problem_of b in
           let dataset = Runs.dataset_for b scale ~seed in
           let outcome =
-            Learner.run problem dataset scale.Scale.adaptive
-              ~rng:(Rng.create ~seed)
+            Events.with_run
+              (Printf.sprintf "%s/%s/tune/0" bench scale.Scale.label)
+              (fun () ->
+                Learner.run problem dataset scale.Scale.adaptive
+                  ~rng:(Rng.create ~seed))
           in
           Printf.printf
             "trained on %d configurations (%d runs, %.0f simulated s); \
@@ -427,7 +571,7 @@ let tune_cmd =
             (Spapt.true_runtime b best.best)
             (sampled.evaluations + climbed.evaluations))
       $ scale_term $ seed_term $ bench_term ~default:"mm" $ trace_term
-      $ metrics_term)
+      $ events_term $ metrics_term)
   in
   Cmd.v
     (Cmd.info "tune"
@@ -458,4 +602,6 @@ let () =
             check_cmd;
             tune_cmd;
             trace_summary_cmd;
+            report_cmd;
+            bench_diff_cmd;
           ]))

@@ -2,6 +2,7 @@ module Rng = Altune_prng.Rng
 module Metrics = Altune_stats.Metrics
 module Welford = Altune_stats.Welford
 module Trace = Altune_obs.Trace
+module Events = Altune_obs.Events
 
 type plan = Fixed of int | Adaptive of { max_obs : int }
 type strategy = Alc | Mackay | Random_selection
@@ -96,6 +97,15 @@ type scaler = { mutable mean : float; mutable std : float }
 
 let standardize scaler y = (y -. scaler.mean) /. scaler.std
 let unstandardize scaler z = (z *. scaler.std) +. scaler.mean
+
+let plan_string = function
+  | Fixed n -> Printf.sprintf "fixed:%d" n
+  | Adaptive { max_obs } -> Printf.sprintf "adaptive:%d" max_obs
+
+let strategy_string = function
+  | Alc -> "alc"
+  | Mackay -> "mackay"
+  | Random_selection -> "random"
 
 let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
   validate settings;
@@ -213,6 +223,20 @@ let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
         /. (scaler.std *. scaler.std))
   in
   let model = settings.model ~noise_hint ~rng ~dim:problem.dim in
+  (* Learner telemetry (Altune_obs.Events): pure observation of decisions
+     already made — emission consumes no randomness and touches no state
+     the loop reads, so results are byte-identical with it on or off. *)
+  if Events.enabled () then
+    Events.emit
+      (Start
+         {
+           plan = plan_string settings.plan;
+           strategy = strategy_string settings.strategy;
+           model = Surrogate.name model;
+           dim = problem.dim;
+           pool = Array.length pool;
+           n_max = settings.n_max;
+         });
   let observe_raw config y =
     Trace.with_span ~name:"learner.observe" ~phase:"tree-update" (fun () ->
         Surrogate.observe model (problem.features config)
@@ -243,13 +267,48 @@ let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
   in
   let curve = ref [] in
   let record iteration =
+    let err = rmse () in
+    if Events.enabled () then begin
+      let ref_variance =
+        if Array.length refs = 0 then 0.0
+        else begin
+          let acc = ref 0.0 in
+          Array.iter
+            (fun f -> acc := !acc +. (Surrogate.predict model f).variance)
+            refs;
+          !acc /. float_of_int (Array.length refs)
+        end
+      in
+      let tree =
+        Option.map
+          (fun (s : Surrogate.tree_stats) ->
+            {
+              Events.mean_leaves = s.mean_leaves;
+              max_depth = s.max_depth;
+              depth_histogram = s.depth_histogram;
+              split_frequencies = s.split_frequencies;
+            })
+          (Surrogate.tree_stats model)
+      in
+      Events.emit
+        (Eval
+           {
+             iteration;
+             examples = Hashtbl.length obs_count;
+             observations = !run_counter;
+             cost_s = Cost.total_seconds cost;
+             rmse = err;
+             ref_variance;
+             tree;
+           })
+    end;
     curve :=
       {
         iteration;
         examples = Hashtbl.length obs_count;
         observations = !run_counter;
         cost_seconds = Cost.total_seconds cost;
-        rmse = rmse ();
+        rmse = err;
       }
       :: !curve
   in
@@ -274,19 +333,26 @@ let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
         Array.to_list (Array.mapi (fun i c -> (c, scores.(i))) arr)
   in
   (* Top-[k] candidates by score, stable on ties so fresh candidates (which
-     precede revisits in the list) win them. *)
-  let select_batch k candidates =
-    match candidates with
+     precede revisits in the list) win them.  Returns each selection with
+     its score and fresh-vs-revisit provenance for the event stream. *)
+  let select_batch k ~fresh ~revisits =
+    match fresh @ revisits with
     | [] -> []
-    | _ ->
+    | candidates ->
         Trace.with_span ~name:"learner.select" ~phase:"alc"
           ~attrs:[ ("candidates", Trace.Int (List.length candidates)) ]
           (fun () ->
             let scored = score_all candidates in
-            let sorted =
-              List.stable_sort (fun (_, a) (_, b) -> Float.compare b a) scored
+            let n_fresh = List.length fresh in
+            let tagged =
+              List.mapi (fun i (c, s) -> (c, s, i >= n_fresh)) scored
             in
-            List.filteri (fun i _ -> i < k) (List.map fst sorted))
+            let sorted =
+              List.stable_sort
+                (fun (_, a, _) (_, b, _) -> Float.compare b a)
+                tagged
+            in
+            List.filteri (fun i _ -> i < k) sorted)
   in
   let should_stop iteration =
     iteration >= settings.n_max
@@ -339,13 +405,20 @@ let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
     in
     let batch =
       let remaining = settings.n_max - !iteration in
-      select_batch (min settings.batch_size remaining) (fresh @ revisits)
+      select_batch (min settings.batch_size remaining) ~fresh ~revisits
     in
     if batch = [] then stopped := true
     else begin
       List.iter
-        (fun config ->
+        (fun (config, score, revisit) ->
           incr iteration;
+          let prev_obs =
+            if not (Events.enabled ()) then 0
+            else
+              match Hashtbl.find_opt obs_count (Problem.key config) with
+              | Some (c, _, _) -> c
+              | None -> 0
+          in
           (match settings.plan with
           | Fixed n ->
               let samples = List.init n (fun _ -> measure config) in
@@ -356,6 +429,19 @@ let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
               let y = measure config in
               note_obs config 1 y;
               observe_raw config y);
+          if Events.enabled () then
+            Events.emit
+              (Select
+                 {
+                   iteration = !iteration;
+                   config = Problem.key config;
+                   score;
+                   revisit;
+                   config_obs = prev_obs;
+                   examples = Hashtbl.length obs_count;
+                   observations = !run_counter;
+                   cost_s = Cost.total_seconds cost;
+                 });
           if
             !iteration mod settings.eval_every = 0
             || !iteration = settings.n_max
@@ -372,6 +458,16 @@ let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
   let final_rmse =
     match List.rev curve with [] -> nan | last :: _ -> last.rmse
   in
+  if Events.enabled () then
+    Events.emit
+      (Finish
+         {
+           iterations = !iteration;
+           examples = Hashtbl.length obs_count;
+           observations = !run_counter;
+           cost_s = Cost.total_seconds cost;
+           rmse = final_rmse;
+         });
   {
     curve;
     total_cost = Cost.total_seconds cost;

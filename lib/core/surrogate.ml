@@ -3,6 +3,13 @@ module Leaf_model = Altune_dynatree.Leaf_model
 
 type prediction = { mean : float; variance : float }
 
+type tree_stats = {
+  mean_leaves : float;
+  max_depth : int;
+  depth_histogram : int array;
+  split_frequencies : float array;
+}
+
 module type S = sig
   type t
 
@@ -14,6 +21,7 @@ module type S = sig
     t -> candidates:float array array -> refs:float array array -> float array
 
   val n_observations : t -> int
+  val tree_stats : t -> tree_stats option
 end
 
 type t = Pack : (module S with type t = 'a) * 'a -> t
@@ -27,6 +35,7 @@ let alc_scores (Pack ((module M), m)) ~candidates ~refs =
 
 let n_observations (Pack ((module M), m)) = M.n_observations m
 let name (Pack ((module M), _)) = M.name
+let tree_stats (Pack ((module M), m)) = M.tree_stats m
 
 type factory =
   noise_hint:float option -> rng:Altune_prng.Rng.t -> dim:int -> t
@@ -43,6 +52,16 @@ module Dynatree_surrogate = struct
 
   let alc_scores = Dynatree_impl.alc_scores
   let n_observations = Dynatree_impl.n_observations
+
+  let tree_stats m =
+    let s = Dynatree_impl.stats m in
+    Some
+      {
+        mean_leaves = s.Dynatree_impl.mean_leaves;
+        max_depth = s.Dynatree_impl.max_depth;
+        depth_histogram = s.Dynatree_impl.depth_histogram;
+        split_frequencies = s.Dynatree_impl.split_frequencies;
+      }
 end
 
 let dynatree ?(particles = Dynatree_impl.default_params.n_particles) () :

@@ -10,6 +10,15 @@
 
 type prediction = { mean : float; variance : float }
 
+type tree_stats = {
+  mean_leaves : float;
+  max_depth : int;
+  depth_histogram : int array;  (** Index = depth, value = particles. *)
+  split_frequencies : float array;
+      (** Per-dimension share of posterior splits — the sensitivity proxy
+          surfaced by learner events (see {!Altune_dynatree.Dynatree.stats}). *)
+}
+
 module type S = sig
   type t
 
@@ -23,6 +32,12 @@ module type S = sig
       candidate (higher = more informative). *)
 
   val n_observations : t -> int
+
+  val tree_stats : t -> tree_stats option
+  (** Posterior-shape introspection for models that have one ([None] for
+      models without tree structure, e.g. a GP).  Must be cheap and
+      side-effect free: the learner calls it at every evaluation point
+      when event telemetry is on. *)
 end
 
 type t = Pack : (module S with type t = 'a) * 'a -> t
@@ -36,6 +51,7 @@ val alc_scores :
 
 val n_observations : t -> int
 val name : t -> string
+val tree_stats : t -> tree_stats option
 
 type factory = noise_hint:float option -> rng:Altune_prng.Rng.t -> dim:int -> t
 (** Build a fresh surrogate for a [dim]-dimensional standardized feature

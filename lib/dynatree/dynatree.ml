@@ -146,13 +146,55 @@ let alc_scores t ~candidates ~refs =
       !score /. nrefs)
     candidates
 
-let mean_n_leaves t =
-  let total =
-    Array.fold_left (fun acc p -> acc + Tree.n_leaves p) 0 t.particles
-  in
-  float_of_int total /. float_of_int (Array.length t.particles)
+type stats = {
+  particles : int;
+  mean_leaves : float;
+  max_depth : int;
+  depth_histogram : int array;
+  split_frequencies : float array;
+}
 
-let mean_depth t =
+let stats (t : t) =
+  let n = Array.length t.particles in
+  let per = Array.map Tree.stats t.particles in
+  let max_depth =
+    Array.fold_left (fun acc (s : Tree.stats) -> max acc s.depth) 0 per
+  in
+  let depth_histogram = Array.make (max_depth + 1) 0 in
+  Array.iter
+    (fun (s : Tree.stats) ->
+      depth_histogram.(s.depth) <- depth_histogram.(s.depth) + 1)
+    per;
+  let dim = match per with [||] -> 0 | _ -> Array.length per.(0).split_counts in
+  let split_totals = Array.make dim 0 in
+  Array.iter
+    (fun (s : Tree.stats) ->
+      Array.iteri
+        (fun d c -> split_totals.(d) <- split_totals.(d) + c)
+        s.split_counts)
+    per;
+  let all_splits = Array.fold_left ( + ) 0 split_totals in
+  let split_frequencies =
+    if all_splits = 0 then Array.make dim 0.0
+    else
+      Array.map
+        (fun c -> float_of_int c /. float_of_int all_splits)
+        split_totals
+  in
+  let total_leaves =
+    Array.fold_left (fun acc (s : Tree.stats) -> acc + s.n_leaves) 0 per
+  in
+  {
+    particles = n;
+    mean_leaves = float_of_int total_leaves /. float_of_int (max 1 n);
+    max_depth;
+    depth_histogram;
+    split_frequencies;
+  }
+
+let mean_n_leaves t = (stats t).mean_leaves
+
+let mean_depth (t : t) =
   let total =
     Array.fold_left (fun acc p -> acc + Tree.depth p) 0 t.particles
   in

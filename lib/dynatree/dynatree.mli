@@ -61,3 +61,23 @@ val average_variance : t -> refs:float array array -> float
 
 val mean_n_leaves : t -> float
 val mean_depth : t -> float
+
+type stats = {
+  particles : int;
+  mean_leaves : float;  (** Mean leaf count across particles. *)
+  max_depth : int;  (** Deepest particle. *)
+  depth_histogram : int array;
+      (** [depth_histogram.(d)] = particles of depth [d]; length
+          [max_depth + 1]. *)
+  split_frequencies : float array;
+      (** Fraction of all internal splits (pooled over particles) that cut
+          each feature dimension; sums to 1 when any split exists, all
+          zeros otherwise.  A cheap sensitivity proxy in the spirit of
+          Gramacy & Taddy's dynamic-tree variable selection: dimensions
+          the posterior keeps splitting on are the ones the response
+          depends on. *)
+}
+
+val stats : t -> stats
+(** Ensemble-shape introspection, one pass over the particles.  Cheap
+    enough to call at every evaluation point of a learning run. *)

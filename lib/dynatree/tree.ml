@@ -119,6 +119,27 @@ let rec count_obs = function
 
 let n_observations t = count_obs t.root
 
+type stats = { n_leaves : int; depth : int; split_counts : int array }
+
+(* One traversal for everything the ensemble's introspection needs; the
+   per-dimension split counts are the raw material of the sensitivity
+   proxy (a dimension the posterior splits on often is a dimension the
+   response depends on — Gramacy & Taddy's variable-selection heuristic). *)
+let stats t =
+  let split_counts = Array.make t.store.dim 0 in
+  let leaves = ref 0 in
+  let rec go node d depth_acc =
+    match node with
+    | Leaf _ ->
+        incr leaves;
+        max d depth_acc
+    | Split s ->
+        split_counts.(s.dim) <- split_counts.(s.dim) + 1;
+        go s.right (d + 1) (go s.left (d + 1) depth_acc)
+  in
+  let depth = go t.root 0 0 in
+  { n_leaves = !leaves; depth; split_counts }
+
 (* Sample a candidate split of [indices]: a uniformly chosen dimension and
    a threshold at the midpoint between the values of two distinct data
    points in that dimension.  O(|leaf|) — the update loop calls this for

@@ -54,3 +54,16 @@ val leaf_ref_counts : t -> float array array -> (int, int) Hashtbl.t
 val n_leaves : t -> int
 val depth : t -> int
 val n_observations : t -> int
+
+type stats = {
+  n_leaves : int;
+  depth : int;
+  split_counts : int array;
+      (** Internal splits per feature dimension (length = store dim). *)
+}
+
+val stats : t -> stats
+(** Shape introspection in one traversal — leaf count, max depth, and how
+    often each dimension is split on.  The split counts are the raw
+    material of the ensemble's sensitivity proxy: a dimension the
+    posterior splits on often is one the response depends on. *)

@@ -6,6 +6,7 @@ module Learner = Altune_core.Learner
 module Pool = Altune_exec.Pool
 module Memo = Altune_exec.Memo
 module Trace = Altune_obs.Trace
+module Events = Altune_obs.Events
 
 type plan_curves = {
   bench : string;
@@ -128,10 +129,17 @@ let curves_for bench (scale : Scale.t) ~seed =
           (fun (tag, settings, r) ->
             let rep_seed = Rng.derive ~seed [ S tag; I r; S name ] in
             let problem = Adapter.problem_of (Spapt.create name) in
+            (* A distinct run key per (bench, scale, plan, rep) keeps event
+               streams separable and their on-disk order independent of how
+               the pool interleaves tasks across domains. *)
+            let run_key =
+              Printf.sprintf "%s/%s/%s/%d" name scale.label tag r
+            in
             ( tag,
-              (Learner.run problem dataset settings
-                 ~rng:(Rng.create ~seed:rep_seed))
-                .curve ))
+              Events.with_run run_key (fun () ->
+                  (Learner.run problem dataset settings
+                     ~rng:(Rng.create ~seed:rep_seed))
+                    .curve) ))
           tasks
       in
       let plan tag =

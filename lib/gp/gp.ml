@@ -182,6 +182,7 @@ module Gp_surrogate = struct
   let predict = predict
   let alc_scores = alc_scores
   let n_observations = n_observations
+  let tree_stats _ = None
 end
 
 let factory ?(params = default_params) () : Surrogate.factory =

@@ -1,0 +1,165 @@
+type record = {
+  section : string;
+  scale : string;
+  jobs : int;
+  seconds : float;
+  host : string option;
+  cores : int option;
+  git_rev : string option;
+}
+
+type delta = {
+  section : string;
+  scale : string;
+  jobs : int;
+  baseline_s : float;
+  current_s : float;
+  delta_pct : float;
+}
+
+type diff = {
+  deltas : delta list;
+  skipped_baseline : int;
+  skipped_current : int;
+  unmatched : int;
+}
+
+(* --- Loading ----------------------------------------------------------- *)
+
+let record_of_json j =
+  let str key = Option.bind (Json.member key j) Json.to_string_opt in
+  let int key = Option.bind (Json.member key j) Json.to_int_opt in
+  let float key = Option.bind (Json.member key j) Json.to_float_opt in
+  match (str "section", str "scale", int "jobs", float "seconds") with
+  | Some section, Some scale, Some jobs, Some seconds ->
+      (* A record tagged ["manifest": null] predates manifest stamping:
+         keep it loadable but unmatched (host/cores stay [None]), so
+         diffs skip it deterministically. *)
+      let null_manifest =
+        match Json.member "manifest" j with Some Json.Null -> true | _ -> false
+      in
+      let host = if null_manifest then None else str "host" in
+      let cores = if null_manifest then None else int "cores" in
+      Ok { section; scale; jobs; seconds; host; cores; git_rev = str "git_rev" }
+  | _ -> Error "bench record: missing section/scale/jobs/seconds"
+
+let of_json = function
+  | Json.List items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | j :: rest -> (
+            match record_of_json j with
+            | Ok r -> go (r :: acc) rest
+            | Error e -> Error e)
+      in
+      go [] items
+  | _ -> Error "bench file: expected a JSON array of records"
+
+let load path =
+  try
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Result.bind (Json.of_string s) of_json
+  with Sys_error e -> Error e
+
+(* --- Matching ---------------------------------------------------------- *)
+
+(* A record is comparable only if it carries its manifest: timings from
+   unknown hosts (or pre-manifest history) cannot be meaningfully
+   diffed. *)
+let comparable (r : record) = Option.is_some r.host && Option.is_some r.cores
+
+let key (r : record) =
+  ( r.section,
+    r.scale,
+    r.jobs,
+    Option.value ~default:"" r.host,
+    Option.value ~default:0 r.cores )
+
+(* Last record wins per key: the harness appends, so the newest timing of
+   a configuration is the current truth. *)
+let latest_by_key records =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun r -> if comparable r then Hashtbl.replace tbl (key r) r) records;
+  tbl
+
+let diff ~baseline ~current =
+  let base_tbl = latest_by_key baseline in
+  let skipped_baseline =
+    List.length (List.filter (fun r -> not (comparable r)) baseline)
+  in
+  let skipped_current =
+    List.length (List.filter (fun r -> not (comparable r)) current)
+  in
+  (* Dedupe current keeping the last occurrence, preserving first-seen
+     order so the report reads in file order. *)
+  let cur_tbl = latest_by_key current in
+  let seen = Hashtbl.create 16 in
+  let deltas, unmatched =
+    List.fold_left
+      (fun (deltas, unmatched) r ->
+        if not (comparable r) then (deltas, unmatched)
+        else
+          let k = key r in
+          if Hashtbl.mem seen k then (deltas, unmatched)
+          else begin
+            Hashtbl.add seen k ();
+            let r = Hashtbl.find cur_tbl k in
+            match Hashtbl.find_opt base_tbl k with
+            | None -> (deltas, unmatched + 1)
+            | Some b ->
+                let delta_pct =
+                  if b.seconds > 0.0 then
+                    (r.seconds -. b.seconds) /. b.seconds *. 100.0
+                  else 0.0
+                in
+                ( {
+                    section = r.section;
+                    scale = r.scale;
+                    jobs = r.jobs;
+                    baseline_s = b.seconds;
+                    current_s = r.seconds;
+                    delta_pct;
+                  }
+                  :: deltas,
+                  unmatched )
+          end)
+      ([], 0) current
+  in
+  { deltas = List.rev deltas; skipped_baseline; skipped_current; unmatched }
+
+let regressions ~max_regress d =
+  List.filter (fun dl -> dl.delta_pct > max_regress) d.deltas
+
+(* --- Rendering --------------------------------------------------------- *)
+
+let render ?max_regress d =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-10s %-9s %4s %12s %12s %9s\n" "section" "scale" "jobs"
+       "baseline(s)" "current(s)" "delta");
+  List.iter
+    (fun dl ->
+      let flag =
+        match max_regress with
+        | Some m when dl.delta_pct > m -> "  REGRESSION"
+        | _ -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-10s %-9s %4d %12.3f %12.3f %+8.1f%%%s\n" dl.section
+           dl.scale dl.jobs dl.baseline_s dl.current_s dl.delta_pct flag))
+    d.deltas;
+  if d.deltas = [] then
+    Buffer.add_string buf "(no comparable sections: manifests differ)\n";
+  if d.skipped_baseline > 0 || d.skipped_current > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "skipped %d baseline / %d current record(s) without a manifest\n"
+         d.skipped_baseline d.skipped_current);
+  if d.unmatched > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "%d current record(s) had no matching baseline\n"
+         d.unmatched);
+  Buffer.contents buf

@@ -1,0 +1,54 @@
+(** Compare two [BENCH_harness.json] files and flag timing regressions.
+
+    The harness appends one record per section per run, stamped with the
+    run manifest (host, cores, git rev).  A diff only compares records
+    whose {e matching key} — (section, scale, jobs, host, cores) — is
+    identical on both sides: a timing from another machine, another core
+    count, or the pre-manifest era (tagged ["manifest": null]) is
+    skipped, never silently compared.  Within a key the {e last} record
+    wins, since the file is append-only and the newest timing is the
+    current truth.
+
+    Drives [altune bench-diff BASELINE CURRENT --max-regress PCT], the
+    CI gate that fails a build whose benchmark sections slowed down more
+    than the threshold on a comparable host. *)
+
+type record = {
+  section : string;
+  scale : string;
+  jobs : int;
+  seconds : float;
+  host : string option;  (** [None]: not comparable (no manifest). *)
+  cores : int option;
+  git_rev : string option;
+}
+
+type delta = {
+  section : string;
+  scale : string;
+  jobs : int;
+  baseline_s : float;
+  current_s : float;
+  delta_pct : float;  (** [(current - baseline) / baseline * 100]. *)
+}
+
+type diff = {
+  deltas : delta list;  (** Matched pairs, in current-file order. *)
+  skipped_baseline : int;  (** Baseline records without a manifest. *)
+  skipped_current : int;
+  unmatched : int;  (** Comparable current records with no baseline. *)
+}
+
+val record_of_json : Json.t -> (record, string) result
+val of_json : Json.t -> (record list, string) result
+
+val load : string -> (record list, string) result
+(** Read a flat JSON array of bench records, as written by the harness. *)
+
+val diff : baseline:record list -> current:record list -> diff
+
+val regressions : max_regress:float -> diff -> delta list
+(** Deltas slower than [max_regress] percent. *)
+
+val render : ?max_regress:float -> diff -> string
+(** Plain-text table; marks deltas beyond [max_regress] as REGRESSION. *)

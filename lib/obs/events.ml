@@ -1,0 +1,371 @@
+type tree_stats = {
+  mean_leaves : float;
+  max_depth : int;
+  depth_histogram : int array;
+  split_frequencies : float array;
+}
+
+type start = {
+  plan : string;
+  strategy : string;
+  model : string;
+  dim : int;
+  pool : int;
+  n_max : int;
+}
+
+type select = {
+  iteration : int;
+  config : string;
+  score : float;
+  revisit : bool;
+  config_obs : int;
+  examples : int;
+  observations : int;
+  cost_s : float;
+}
+
+type eval = {
+  iteration : int;
+  examples : int;
+  observations : int;
+  cost_s : float;
+  rmse : float;
+  ref_variance : float;
+  tree : tree_stats option;
+}
+
+type finish = {
+  iterations : int;
+  examples : int;
+  observations : int;
+  cost_s : float;
+  rmse : float;
+}
+
+type kind = Start of start | Select of select | Eval of eval | Finish of finish
+type t = { run : string; seq : int; kind : kind }
+
+(* --- JSON encoding ----------------------------------------------------- *)
+
+let tree_to_json (s : tree_stats) =
+  Json.Obj
+    [
+      ("mean_leaves", Json.Float s.mean_leaves);
+      ("max_depth", Json.Int s.max_depth);
+      ( "depth_hist",
+        Json.List
+          (Array.to_list (Array.map (fun c -> Json.Int c) s.depth_histogram))
+      );
+      ( "split_freq",
+        Json.List
+          (Array.to_list
+             (Array.map (fun f -> Json.Float f) s.split_frequencies)) );
+    ]
+
+let to_json { run; seq; kind } =
+  let common kind_name =
+    [
+      ("ev", Json.String "learner");
+      ("run", Json.String run);
+      ("seq", Json.Int seq);
+      ("kind", Json.String kind_name);
+    ]
+  in
+  match kind with
+  | Start s ->
+      Json.Obj
+        (common "start"
+        @ [
+            ("plan", Json.String s.plan);
+            ("strategy", Json.String s.strategy);
+            ("model", Json.String s.model);
+            ("dim", Json.Int s.dim);
+            ("pool", Json.Int s.pool);
+            ("n_max", Json.Int s.n_max);
+          ])
+  | Select s ->
+      Json.Obj
+        (common "select"
+        @ [
+            ("iteration", Json.Int s.iteration);
+            ("config", Json.String s.config);
+            ("score", Json.Float s.score);
+            ("revisit", Json.Bool s.revisit);
+            ("config_obs", Json.Int s.config_obs);
+            ("examples", Json.Int s.examples);
+            ("observations", Json.Int s.observations);
+            ("cost_s", Json.Float s.cost_s);
+          ])
+  | Eval e ->
+      Json.Obj
+        (common "eval"
+        @ [
+            ("iteration", Json.Int e.iteration);
+            ("examples", Json.Int e.examples);
+            ("observations", Json.Int e.observations);
+            ("cost_s", Json.Float e.cost_s);
+            ("rmse", Json.Float e.rmse);
+            ("ref_variance", Json.Float e.ref_variance);
+          ]
+        @ match e.tree with None -> [] | Some s -> [ ("tree", tree_to_json s) ])
+  | Finish f ->
+      Json.Obj
+        (common "finish"
+        @ [
+            ("iterations", Json.Int f.iterations);
+            ("examples", Json.Int f.examples);
+            ("observations", Json.Int f.observations);
+            ("cost_s", Json.Float f.cost_s);
+            ("rmse", Json.Float f.rmse);
+          ])
+
+(* --- JSON decoding ----------------------------------------------------- *)
+
+let str_field j key = Option.bind (Json.member key j) Json.to_string_opt
+let int_field j key = Option.bind (Json.member key j) Json.to_int_opt
+let float_field j key = Option.bind (Json.member key j) Json.to_float_opt
+let bool_field j key = Option.bind (Json.member key j) Json.to_bool_opt
+
+let require name = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "learner event: missing %s" name)
+
+let ( let* ) = Result.bind
+
+let tree_of_json j =
+  let* mean_leaves = require "tree.mean_leaves" (float_field j "mean_leaves") in
+  let* max_depth = require "tree.max_depth" (int_field j "max_depth") in
+  let ints key =
+    match Json.member key j with
+    | Some (Json.List l) ->
+        let vals = List.filter_map Json.to_int_opt l in
+        if List.length vals = List.length l then Ok (Array.of_list vals)
+        else Error (Printf.sprintf "learner event: bad %s" key)
+    | _ -> Error (Printf.sprintf "learner event: missing %s" key)
+  in
+  let floats key =
+    match Json.member key j with
+    | Some (Json.List l) ->
+        let vals = List.filter_map Json.to_float_opt l in
+        if List.length vals = List.length l then Ok (Array.of_list vals)
+        else Error (Printf.sprintf "learner event: bad %s" key)
+    | _ -> Error (Printf.sprintf "learner event: missing %s" key)
+  in
+  let* depth_histogram = ints "depth_hist" in
+  let* split_frequencies = floats "split_freq" in
+  Ok { mean_leaves; max_depth; depth_histogram; split_frequencies }
+
+let of_json j =
+  let* run = require "run" (str_field j "run") in
+  let* seq = require "seq" (int_field j "seq") in
+  let* kind_name = require "kind" (str_field j "kind") in
+  let* kind =
+    match kind_name with
+    | "start" ->
+        let* plan = require "plan" (str_field j "plan") in
+        let* strategy = require "strategy" (str_field j "strategy") in
+        let* model = require "model" (str_field j "model") in
+        let* dim = require "dim" (int_field j "dim") in
+        let* pool = require "pool" (int_field j "pool") in
+        let* n_max = require "n_max" (int_field j "n_max") in
+        Ok (Start { plan; strategy; model; dim; pool; n_max })
+    | "select" ->
+        let* iteration = require "iteration" (int_field j "iteration") in
+        let* config = require "config" (str_field j "config") in
+        let* score = require "score" (float_field j "score") in
+        let* revisit = require "revisit" (bool_field j "revisit") in
+        let* config_obs = require "config_obs" (int_field j "config_obs") in
+        let* examples = require "examples" (int_field j "examples") in
+        let* observations =
+          require "observations" (int_field j "observations")
+        in
+        let* cost_s = require "cost_s" (float_field j "cost_s") in
+        Ok
+          (Select
+             {
+               iteration;
+               config;
+               score;
+               revisit;
+               config_obs;
+               examples;
+               observations;
+               cost_s;
+             })
+    | "eval" ->
+        let* iteration = require "iteration" (int_field j "iteration") in
+        let* examples = require "examples" (int_field j "examples") in
+        let* observations =
+          require "observations" (int_field j "observations")
+        in
+        let* cost_s = require "cost_s" (float_field j "cost_s") in
+        let* rmse = require "rmse" (float_field j "rmse") in
+        let* ref_variance =
+          require "ref_variance" (float_field j "ref_variance")
+        in
+        let* tree =
+          match Json.member "tree" j with
+          | None | Some Json.Null -> Ok None
+          | Some tj ->
+              let* s = tree_of_json tj in
+              Ok (Some s)
+        in
+        Ok
+          (Eval
+             { iteration; examples; observations; cost_s; rmse; ref_variance;
+               tree })
+    | "finish" ->
+        let* iterations = require "iterations" (int_field j "iterations") in
+        let* examples = require "examples" (int_field j "examples") in
+        let* observations =
+          require "observations" (int_field j "observations")
+        in
+        let* cost_s = require "cost_s" (float_field j "cost_s") in
+        let* rmse = require "rmse" (float_field j "rmse") in
+        Ok (Finish { iterations; examples; observations; cost_s; rmse })
+    | other -> Error (Printf.sprintf "learner event: unknown kind %S" other)
+  in
+  Ok { run; seq; kind }
+
+(* --- Emission ----------------------------------------------------------- *)
+
+(* The sink buffers (run, seq, line) triples and writes them sorted on
+   uninstall, so the file's bytes depend only on what each learner run
+   emitted — not on how the pool interleaved runs across domains.  A run's
+   events are totally ordered by its per-run sequence number; distinct
+   runs are ordered by key; the line itself is the final tiebreak, making
+   the sort a total order and the output byte-identical at any job
+   count. *)
+type sink = {
+  lock : Mutex.t;
+  mutable buf : (string * int * string) list;
+  write : string -> unit;
+  close : unit -> unit;
+}
+
+let sink_state : sink option Atomic.t = Atomic.make None
+let enabled () = Option.is_some (Atomic.get sink_state)
+
+(* Per-domain run context: the key under which events are recorded and the
+   per-run sequence counter.  [with_run] scopes a fresh context; emission
+   outside any [with_run] is recorded under [""] (deterministic for
+   sequential callers, e.g. `altune tune`). *)
+type run_ctx = { mutable key : string; mutable seq : int }
+
+let tls : run_ctx Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { key = ""; seq = 0 })
+
+let with_run key f =
+  let st = Domain.DLS.get tls in
+  let saved = { key = st.key; seq = st.seq } in
+  st.key <- key;
+  st.seq <- 0;
+  Fun.protect
+    ~finally:(fun () ->
+      st.key <- saved.key;
+      st.seq <- saved.seq)
+    f
+
+let compare_entries (r1, s1, l1) (r2, s2, l2) =
+  match String.compare r1 r2 with
+  | 0 -> ( match compare (s1 : int) s2 with 0 -> String.compare l1 l2 | c -> c)
+  | c -> c
+
+let uninstall () =
+  match Atomic.exchange sink_state None with
+  | None -> ()
+  | Some s ->
+      Mutex.lock s.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock s.lock)
+        (fun () ->
+          List.iter
+            (fun (_, _, line) -> s.write line)
+            (List.sort compare_entries s.buf);
+          s.buf <- [];
+          s.close ())
+
+let install ?(on_line = fun _ -> ()) ?(close = fun () -> ()) () =
+  uninstall ();
+  Atomic.set sink_state
+    (Some { lock = Mutex.create (); buf = []; write = on_line; close })
+
+let emit kind =
+  match Atomic.get sink_state with
+  | None -> ()
+  | Some s ->
+      let ctx = Domain.DLS.get tls in
+      let seq = ctx.seq in
+      ctx.seq <- seq + 1;
+      let line = Json.to_string (to_json { run = ctx.key; seq; kind }) in
+      Mutex.lock s.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock s.lock)
+        (fun () -> s.buf <- (ctx.key, seq, line) :: s.buf)
+
+let with_file path ?manifest f =
+  let oc = open_out path in
+  (* The manifest heads the file unsorted: it is provenance, not an
+     event. *)
+  (match manifest with
+  | Some m ->
+      output_string oc (Json.to_string m);
+      output_char oc '\n'
+  | None -> ());
+  install
+    ~on_line:(fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    ~close:(fun () -> close_out oc)
+    ();
+  Fun.protect ~finally:uninstall f
+
+let with_memory f =
+  let lines = ref [] in
+  install ~on_line:(fun l -> lines := l :: !lines) ();
+  let v = Fun.protect ~finally:uninstall f in
+  (v, List.rev !lines)
+
+(* --- Loading ------------------------------------------------------------ *)
+
+type file = { manifest : Manifest.t option; events : t list }
+
+let of_lines lines =
+  let rec go manifest events = function
+    | [] -> Ok { manifest; events = List.rev events }
+    | line :: rest -> (
+        if String.trim line = "" then go manifest events rest
+        else
+          match Json.of_string line with
+          | Error e -> Error (Printf.sprintf "bad line %S: %s" line e)
+          | Ok j -> (
+              match str_field j "ev" with
+              | Some "learner" -> (
+                  match of_json j with
+                  | Ok ev -> go manifest (ev :: events) rest
+                  | Error e -> Error e)
+              | Some "manifest" -> (
+                  match Manifest.of_json j with
+                  | Ok m -> go (Some m) events rest
+                  | Error e -> Error e)
+              (* Other event kinds (spans, future additions) are not ours. *)
+              | Some _ -> go manifest events rest
+              | None -> Error (Printf.sprintf "line without ev tag: %S" line)))
+  in
+  go None [] lines
+
+let load path =
+  try
+    let ic = open_in path in
+    let lines = ref [] in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        of_lines (List.rev !lines))
+  with Sys_error e -> Error e

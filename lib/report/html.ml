@@ -1,0 +1,119 @@
+let escape = Svg.xml_escape
+
+(* One stylesheet for the whole report.  Colors live in custom
+   properties so the SVG charts (which reference them by class) follow
+   the viewer's scheme; the dark palette is its own validated stepping
+   of the same hues, not an automatic flip.  Light-mode aqua, yellow and
+   magenta sit below 3:1 contrast on the light surface, which is why
+   every chart ships a data-table fallback. *)
+let css =
+  {css|
+:root {
+  color-scheme: light dark;
+  --bg: #fcfcfb; --ink: #1a1a19; --muted: #6f6e68;
+  --grid: #e7e6e2; --axis: #b4b3ac; --card: #ffffff; --edge: #e2e1dc;
+  --s0: #2a78d6; --s1: #eb6834; --s2: #1baf7a;
+  --s3: #eda100; --s4: #e87ba4; --s5: #008300;
+  --seq: #2a78d6;
+}
+@media (prefers-color-scheme: dark) {
+  :root:not([data-theme="light"]) {
+    --bg: #1a1a19; --ink: #fcfcfb; --muted: #a3a29a;
+    --grid: #32312e; --axis: #57564f; --card: #232321; --edge: #3a3935;
+    --s0: #3987e5; --s1: #d95926; --s2: #199e70;
+    --s3: #c98500; --s4: #d55181; --s5: #008300;
+    --seq: #3987e5;
+  }
+}
+:root[data-theme="dark"] {
+  --bg: #1a1a19; --ink: #fcfcfb; --muted: #a3a29a;
+  --grid: #32312e; --axis: #57564f; --card: #232321; --edge: #3a3935;
+  --s0: #3987e5; --s1: #d95926; --s2: #199e70;
+  --s3: #c98500; --s4: #d55181; --s5: #008300;
+  --seq: #3987e5;
+}
+body {
+  background: var(--bg); color: var(--ink);
+  font: 14px/1.5 system-ui, sans-serif;
+  max-width: 1180px; margin: 0 auto; padding: 24px;
+}
+h1 { font-size: 22px; margin: 0 0 4px; }
+h2 { font-size: 17px; margin: 28px 0 8px; }
+p.meta, p.intro { color: var(--muted); margin: 2px 0 10px; }
+section.card {
+  background: var(--card); border: 1px solid var(--edge);
+  border-radius: 8px; padding: 14px 18px; margin: 14px 0;
+}
+div.row { display: flex; flex-wrap: wrap; gap: 18px; }
+figure { margin: 0; }
+figcaption { color: var(--muted); font-size: 13px; margin-top: 2px; }
+table { border-collapse: collapse; margin: 8px 0; }
+th, td { padding: 3px 10px; text-align: right; border-bottom: 1px solid var(--edge); }
+th { color: var(--muted); font-weight: 600; }
+th:first-child, td:first-child { text-align: left; }
+details summary { color: var(--muted); cursor: pointer; font-size: 13px; }
+svg { display: block; }
+svg .grid { stroke: var(--grid); stroke-width: 1; }
+svg .axis { stroke: var(--axis); stroke-width: 1; }
+svg .tick, svg .legend, svg .label { fill: var(--ink); font: 11px system-ui, sans-serif; }
+svg .tick { fill: var(--muted); }
+svg .label { font-size: 12px; }
+svg .line { fill: none; stroke-width: 2; }
+svg .dot { stroke: var(--bg); stroke-width: 1; }
+svg .line.s0 { stroke: var(--s0); } svg .dot.s0 { fill: var(--s0); }
+svg .line.s1 { stroke: var(--s1); } svg .dot.s1 { fill: var(--s1); }
+svg .line.s2 { stroke: var(--s2); } svg .dot.s2 { fill: var(--s2); }
+svg .line.s3 { stroke: var(--s3); } svg .dot.s3 { fill: var(--s3); }
+svg .line.s4 { stroke: var(--s4); } svg .dot.s4 { fill: var(--s4); }
+svg .line.s5 { stroke: var(--s5); } svg .dot.s5 { fill: var(--s5); }
+svg .bar { fill: var(--seq); }
+|css}
+
+let page ~title ~subtitle body =
+  Printf.sprintf
+    {|<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>%s</title>
+<style>%s</style>
+</head>
+<body>
+<h1>%s</h1>
+<p class="meta">%s</p>
+%s</body>
+</html>
+|}
+    (escape title) css (escape title) (escape subtitle) body
+
+let section ~title ?intro body =
+  let intro =
+    match intro with
+    | None -> ""
+    | Some i -> Printf.sprintf "<p class=\"intro\">%s</p>\n" (escape i)
+  in
+  Printf.sprintf "<section class=\"card\">\n<h2>%s</h2>\n%s%s</section>\n"
+    (escape title) intro body
+
+let figure ~caption svg =
+  Printf.sprintf "<figure>\n%s<figcaption>%s</figcaption>\n</figure>\n" svg
+    (escape caption)
+
+let row figures = Printf.sprintf "<div class=\"row\">\n%s</div>\n"
+    (String.concat "" figures)
+
+let table ~headers ~rows =
+  let cells tag r =
+    String.concat ""
+      (List.map (fun c -> Printf.sprintf "<%s>%s</%s>" tag (escape c) tag) r)
+  in
+  Printf.sprintf "<table>\n<tr>%s</tr>\n%s</table>\n" (cells "th" headers)
+    (String.concat "\n"
+       (List.map (fun r -> Printf.sprintf "<tr>%s</tr>" (cells "td" r)) rows))
+
+(* The chart's accessible fallback: same numbers, as text. *)
+let details_table ~summary ~headers ~rows =
+  Printf.sprintf "<details><summary>%s</summary>\n%s</details>\n"
+    (escape summary)
+    (table ~headers ~rows)

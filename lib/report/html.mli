@@ -1,0 +1,24 @@
+(** HTML scaffolding for the self-contained experiment report: one page,
+    inline CSS (light and dark palettes as custom properties consumed by
+    {!Svg} chart classes), no external assets. *)
+
+val escape : string -> string
+
+val page : title:string -> subtitle:string -> string -> string
+(** Complete HTML document around a body. *)
+
+val section : title:string -> ?intro:string -> string -> string
+(** A titled card. *)
+
+val figure : caption:string -> string -> string
+(** Wrap an SVG chart with a caption. *)
+
+val row : string list -> string
+(** Lay figures out side by side, wrapping. *)
+
+val table : headers:string list -> rows:string list list -> string
+
+val details_table :
+  summary:string -> headers:string list -> rows:string list list -> string
+(** Collapsed data table — every chart's accessible fallback (the light
+    palette's low-contrast slots rely on it). *)

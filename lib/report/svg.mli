@@ -1,0 +1,28 @@
+(** Hand-rolled SVG charts for the HTML experiment report.
+
+    Both forms color their marks through CSS classes ([s0]..[s5] for
+    line series, [bar] for bars) that {!Html.page} binds to the light
+    and dark palettes, so the same SVG adapts to the viewer's color
+    scheme.  Output is deterministic: same inputs, same bytes. *)
+
+val xml_escape : string -> string
+
+val line_chart :
+  ?width:int ->
+  ?height:int ->
+  ?logx:bool ->
+  xlabel:string ->
+  ylabel:string ->
+  (string * (float * float) list) list ->
+  string
+(** Multi-series line chart with markers, hairline grid, tick labels, a
+    legend (for two or more series) and a [<title>] tooltip per point.
+    Non-finite points (and non-positive x under [~logx:true]) are
+    dropped.  At most six series are drawn — the categorical palette has
+    six slots — and a visible note counts any omitted ones. *)
+
+val bar_chart :
+  ?width:int -> xlabel:string -> (string * float) list -> string
+(** Horizontal bar chart (single-hue: a bar chart encodes magnitude, not
+    identity) with per-bar value labels and tooltips.  Negative and
+    non-finite values are dropped. *)

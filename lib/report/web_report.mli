@@ -1,0 +1,34 @@
+(** The [altune report] engine: render learner event streams, JSONL
+    traces and bench timing files into one self-contained HTML page with
+    inline SVG charts — no external assets, no plotting dependency.
+
+    Per benchmark/scale group it draws error-vs-cost and
+    variance-vs-cost curves (averaged over repetitions exactly like
+    [Experiment.average_curves], so the charts agree with the text
+    tables), cumulative revisit-fraction curves, dynamic-tree growth,
+    and a per-dimension split-frequency bar chart (the sensitivity
+    proxy).  A trace summary table and bench timing table are appended
+    when the inputs carry spans or bench records.  Every chart ships a
+    collapsed data table as its accessible fallback. *)
+
+type inputs = {
+  events : Altune_obs.Events.t list;
+  manifest : Altune_obs.Manifest.t option;
+  summary : Altune_obs.Summary.t option;
+  bench : Altune_obs.Bench_diff.record list;
+}
+
+val load : string list -> (inputs, string) result
+(** Classify and parse input files: a file whose first payload byte is
+    ['['] is a bench timing array; anything else is JSONL whose learner
+    events, manifest and spans are each picked out by their reader. *)
+
+val render : inputs -> string
+(** The complete HTML document.  Deterministic: same inputs, same
+    bytes. *)
+
+val events_csv : Altune_obs.Events.t list -> string
+(** Flat CSV of the event stream (one row per event, kind-specific
+    columns left empty where not applicable). *)
+
+val write_events_csv : path:string -> Altune_obs.Events.t list -> unit

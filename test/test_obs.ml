@@ -5,6 +5,7 @@
    that tracing never changes experiment output. *)
 
 module Json = Altune_obs.Json
+module Bench_diff = Altune_obs.Bench_diff
 module Trace = Altune_obs.Trace
 module Metrics = Altune_obs.Metrics
 module Manifest = Altune_obs.Manifest
@@ -384,6 +385,106 @@ let test_output_identical_with_tracing () =
   Alcotest.(check bool) "trace non-empty" true (List.length lines > 0);
   Runs.clear_cache ()
 
+(* --- Bench-diff --------------------------------------------------------- *)
+
+let record ?host ?cores ~section ~jobs seconds =
+  {
+    Bench_diff.section;
+    scale = "smoke";
+    jobs;
+    seconds;
+    host;
+    cores;
+    git_rev = None;
+  }
+
+let test_bench_diff_regression () =
+  let baseline =
+    [
+      record ~host:"vm" ~cores:1 ~section:"table1" ~jobs:2 10.0;
+      record ~host:"vm" ~cores:1 ~section:"fig6" ~jobs:2 10.0;
+    ]
+  in
+  let current =
+    [
+      (* 2x slowdown on table1, within bounds on fig6. *)
+      record ~host:"vm" ~cores:1 ~section:"table1" ~jobs:2 20.0;
+      record ~host:"vm" ~cores:1 ~section:"fig6" ~jobs:2 11.0;
+    ]
+  in
+  let d = Bench_diff.diff ~baseline ~current in
+  Alcotest.(check int) "two comparable sections" 2 (List.length d.deltas);
+  (match Bench_diff.regressions ~max_regress:25.0 d with
+  | [ r ] ->
+      Alcotest.(check string) "regressed section" "table1" r.section;
+      Alcotest.(check (float 1e-9)) "delta is +100%" 100.0 r.delta_pct
+  | rs -> Alcotest.failf "expected one regression, got %d" (List.length rs));
+  (* The threshold is strict: exactly +25% is not a regression. *)
+  let d25 =
+    Bench_diff.diff
+      ~baseline:[ record ~host:"vm" ~cores:1 ~section:"t" ~jobs:1 8.0 ]
+      ~current:[ record ~host:"vm" ~cores:1 ~section:"t" ~jobs:1 10.0 ]
+  in
+  Alcotest.(check int) "+25% passes at --max-regress 25" 0
+    (List.length (Bench_diff.regressions ~max_regress:25.0 d25));
+  let rendered = Bench_diff.render ~max_regress:25.0 d in
+  Alcotest.(check bool) "render flags the regression" true
+    (let n = String.length rendered in
+     let rec go i =
+       i + 10 <= n && (String.sub rendered i 10 = "REGRESSION" || go (i + 1))
+     in
+     go 0)
+
+let test_bench_diff_skips_incompatible () =
+  let baseline =
+    [
+      record ~host:"vm" ~cores:1 ~section:"table1" ~jobs:2 10.0;
+      record ~section:"fig6" ~jobs:2 10.0 (* pre-manifest: no host *);
+    ]
+  in
+  let current =
+    [
+      record ~host:"other-box" ~cores:8 ~section:"table1" ~jobs:2 99.0;
+      record ~section:"fig6" ~jobs:2 99.0;
+      record ~host:"vm" ~cores:1 ~section:"table1" ~jobs:4 99.0;
+    ]
+  in
+  let d = Bench_diff.diff ~baseline ~current in
+  (* Nothing shares (section, scale, jobs, host, cores): no deltas, so a
+     wildly slower run on a different machine never false-fails. *)
+  Alcotest.(check int) "no comparable pairs" 0 (List.length d.deltas);
+  Alcotest.(check int) "skipped baseline" 1 d.skipped_baseline;
+  Alcotest.(check int) "skipped current" 1 d.skipped_current;
+  Alcotest.(check int) "unmatched current" 2 d.unmatched;
+  Alcotest.(check int) "nothing regresses" 0
+    (List.length (Bench_diff.regressions ~max_regress:25.0 d))
+
+let test_bench_diff_parses_null_manifest () =
+  let line =
+    {|{"section": "table1", "scale": "quick", "jobs": 1, "seconds": 96.9, "manifest": null}|}
+  in
+  match Json.of_string line with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok j -> (
+      match Bench_diff.record_of_json j with
+      | Error e -> Alcotest.failf "record: %s" e
+      | Ok r ->
+          Alcotest.(check bool) "not comparable" true (r.host = None);
+          Alcotest.(check (float 0.0)) "seconds kept" 96.9 r.seconds)
+
+let test_bench_diff_last_record_wins () =
+  let baseline = [ record ~host:"vm" ~cores:1 ~section:"t" ~jobs:1 10.0 ] in
+  let current =
+    [
+      record ~host:"vm" ~cores:1 ~section:"t" ~jobs:1 50.0 (* stale *);
+      record ~host:"vm" ~cores:1 ~section:"t" ~jobs:1 10.5 (* newest *);
+    ]
+  in
+  let d = Bench_diff.diff ~baseline ~current in
+  match d.deltas with
+  | [ dl ] -> Alcotest.(check (float 1e-9)) "newest compared" 10.5 dl.current_s
+  | ds -> Alcotest.failf "expected one delta, got %d" (List.length ds)
+
 let () =
   Alcotest.run "obs"
     [
@@ -418,6 +519,17 @@ let () =
             test_summary_self_time;
           Alcotest.test_case "rejects garbage" `Quick
             test_summary_rejects_garbage;
+        ] );
+      ( "bench-diff",
+        [
+          Alcotest.test_case "detects 2x slowdown" `Quick
+            test_bench_diff_regression;
+          Alcotest.test_case "skips incompatible manifests" `Quick
+            test_bench_diff_skips_incompatible;
+          Alcotest.test_case "parses manifest:null records" `Quick
+            test_bench_diff_parses_null_manifest;
+          Alcotest.test_case "last record wins" `Quick
+            test_bench_diff_last_record_wins;
         ] );
       ( "integration",
         [

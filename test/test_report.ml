@@ -106,6 +106,86 @@ let prop_table_never_raises =
       let s = Report.Table.render ~headers:[ "h1"; "h2" ] ~rows in
       String.length s >= 0)
 
+(* --- SVG / HTML report primitives --------------------------------------- *)
+
+module Svg = Altune_report.Svg
+module Html = Altune_report.Html
+
+let two_series =
+  [
+    ("adaptive", [ (1.0, 5.0); (10.0, 3.0); (100.0, 1.5) ]);
+    ("fixed", [ (1.0, 6.0); (10.0, 4.0); (100.0, 2.5) ]);
+  ]
+
+let test_svg_line_chart () =
+  let s = Svg.line_chart ~logx:true ~xlabel:"cost (s)" ~ylabel:"RMSE"
+      two_series
+  in
+  Alcotest.(check bool) "polyline per series" true (contains s "polyline");
+  Alcotest.(check bool) "legend for two series" true
+    (contains s "class=\"legend\"");
+  Alcotest.(check bool) "tooltip on markers" true (contains s "<title>");
+  Alcotest.(check bool) "series classes" true
+    (contains s "s0" && contains s "s1");
+  Alcotest.(check string) "deterministic" s
+    (Svg.line_chart ~logx:true ~xlabel:"cost (s)" ~ylabel:"RMSE" two_series);
+  (* One series: no legend box (the title names it). *)
+  let one = Svg.line_chart ~xlabel:"x" ~ylabel:"y" [ List.hd two_series ] in
+  Alcotest.(check bool) "no legend for one series" false
+    (contains one "class=\"legend\"");
+  (* Non-finite points are dropped, not rendered as NaN coordinates. *)
+  let dirty =
+    Svg.line_chart ~xlabel:"x" ~ylabel:"y"
+      [ ("a", [ (1.0, nan); (2.0, 3.0); (infinity, 1.0) ]) ]
+  in
+  Alcotest.(check bool) "no NaN in output" false (contains dirty "nan")
+
+let test_svg_series_cap () =
+  let many =
+    List.init 8 (fun i ->
+        (Printf.sprintf "series%d" i, [ (0.0, float_of_int i); (1.0, 1.0) ]))
+  in
+  let s = Svg.line_chart ~xlabel:"x" ~ylabel:"y" many in
+  Alcotest.(check bool) "caps at the palette's six slots" false
+    (contains s "class=\"line s6\"");
+  Alcotest.(check bool) "omission is visible, not silent" true
+    (contains s "+2 series omitted")
+
+let test_svg_bar_chart () =
+  let s =
+    Svg.bar_chart ~xlabel:"split frequency"
+      [ ("dim 0", 0.5); ("dim 1", 0.3); ("dim 2", 0.2) ]
+  in
+  Alcotest.(check bool) "bars" true (contains s "class=\"bar\"");
+  Alcotest.(check bool) "value labels" true (contains s "0.5");
+  Alcotest.(check bool) "tooltips" true (contains s "<title>dim 0: 0.5</title>")
+
+let test_html_page () =
+  let body =
+    Html.section ~title:"A <section>" ~intro:"intro"
+      (Html.figure ~caption:"cap"
+         (Svg.line_chart ~xlabel:"x" ~ylabel:"y" two_series)
+      ^ Html.details_table ~summary:"data" ~headers:[ "x"; "y" ]
+          ~rows:[ [ "1"; "2" ] ])
+  in
+  let page = Html.page ~title:"t & t" ~subtitle:"sub" body in
+  Alcotest.(check bool) "escapes title" true (contains page "t &amp; t");
+  Alcotest.(check bool) "escapes section heading" true
+    (contains page "A &lt;section&gt;");
+  Alcotest.(check bool) "self-contained stylesheet" true
+    (contains page "<style>");
+  (* xmlns is a namespace identifier, not a fetch; anything that loads
+     (script, link, src/href, @import) must be absent. *)
+  Alcotest.(check bool) "no external assets" false
+    (contains page "<script" || contains page "<link" || contains page "src="
+    || contains page "href=" || contains page "@import");
+  Alcotest.(check bool) "dark palette selected via media query" true
+    (contains page "prefers-color-scheme: dark");
+  Alcotest.(check bool) "series colors are custom properties" true
+    (contains page "--s0:" && contains page "var(--s0)");
+  Alcotest.(check bool) "data table fallback present" true
+    (contains page "<details>")
+
 let () =
   Alcotest.run "report"
     [
@@ -130,5 +210,12 @@ let () =
         ] );
       ( "formatting",
         [ Alcotest.test_case "f3 and sci" `Quick test_formatting ] );
+      ( "svg",
+        [
+          Alcotest.test_case "line chart" `Quick test_svg_line_chart;
+          Alcotest.test_case "series cap" `Quick test_svg_series_cap;
+          Alcotest.test_case "bar chart" `Quick test_svg_bar_chart;
+        ] );
+      ("html", [ Alcotest.test_case "page" `Quick test_html_page ]);
       ("properties", [ QCheck_alcotest.to_alcotest prop_table_never_raises ]);
     ]
