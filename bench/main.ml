@@ -6,7 +6,9 @@
    Pass --scale standard (or paper) for larger experiment scales,
    --jobs N to fan experiments out over N domains (results are
    bit-identical at any job count), --benchmarks a,b to restrict the
-   benchmark set, --progress for live per-task reporting, --trace FILE
+   benchmark set, --fault-spec crash=0.05,timeout=0.02 to inject
+   deterministic simulated faults into every learner run,
+   --progress for live per-task reporting, --trace FILE
    to record a JSONL span trace (summarize with `altune trace-summary`),
    --events FILE to record the learner decision stream (render with
    `altune report`), --metrics to dump the metrics registry to stderr
@@ -287,6 +289,19 @@ let () =
     in
     find args
   in
+  let fault =
+    let rec find = function
+      | "--fault-spec" :: spec :: _ -> (
+          match Altune_exec.Fault.of_string spec with
+          | Ok sp -> Some sp
+          | Error e ->
+              Printf.eprintf "--fault-spec: %s\n" e;
+              exit 2)
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   let metrics = List.mem "--metrics" args in
   let progress = List.mem "--progress" args in
   let on_event =
@@ -300,6 +315,7 @@ let () =
             Printf.eprintf "[pool] done   %s (%.1fs)\n%!" label wall_seconds)
   in
   Runs.set_jobs ?on_event jobs;
+  Runs.set_fault fault;
   let wanted name =
     let named =
       List.filter

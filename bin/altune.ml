@@ -11,6 +11,8 @@ module Scale = Altune_experiments.Scale
 module Adapter = Altune_experiments.Adapter
 module Runs = Altune_experiments.Runs
 module Learner = Altune_core.Learner
+module Checkpoint = Altune_core.Checkpoint
+module Fault = Altune_exec.Fault
 module Rng = Altune_prng.Rng
 module Trace = Altune_obs.Trace
 module Obs_metrics = Altune_obs.Metrics
@@ -95,6 +97,29 @@ let events_term =
            byte-identical at any $(b,--jobs) count and never changes \
            experiment output.  Render with $(b,altune report).")
 
+let fault_arg =
+  let parse s =
+    match Fault.of_string s with Ok sp -> Ok sp | Error e -> Error (`Msg e)
+  in
+  let print ppf sp = Format.pp_print_string ppf (Fault.to_string sp) in
+  Arg.conv (parse, print)
+
+let fault_term =
+  Arg.(
+    value
+    & opt (some fault_arg) None
+    & info [ "fault-spec" ] ~docv:"SPEC"
+        ~doc:
+          "Inject deterministic simulated faults into every profiling \
+           attempt.  $(docv) is comma-separated $(i,key=value) pairs: \
+           $(b,crash), $(b,timeout) and $(b,corrupt) (per-attempt \
+           probabilities), $(b,timeout_lost) (simulated seconds lost per \
+           timeout), $(b,max_retries) (attempts beyond the first before a \
+           configuration is marked dead) and $(b,backoff) (base simulated \
+           backoff seconds, doubled per retry).  Fault draws are seeded \
+           from each run's key, so results stay bit-identical at any \
+           $(b,--jobs) count.")
+
 (* Run [f] under the observability requested on the command line: JSONL
    trace and learner-event sinks stamped with the run manifest, a
    top-level span named after the subcommand, and an optional metrics
@@ -153,15 +178,16 @@ let simple_cmd name ~doc f =
   let command = name in
   let term =
     Term.(
-      const (fun scale seed jobs benchmarks trace events metrics ->
+      const (fun scale seed jobs benchmarks fault trace events metrics ->
           check_benchmarks benchmarks;
           apply_jobs jobs;
+          Runs.set_fault fault;
           with_obs ~command ~trace ~events ~metrics
             ~scale_label:scale.Scale.label ~seed (fun () ->
               print_string (f ?benchmarks ~scale ~seed ());
               print_newline ()))
-      $ scale_term $ seed_term $ jobs_term $ benchmarks_term $ trace_term
-      $ events_term $ metrics_term)
+      $ scale_term $ seed_term $ jobs_term $ benchmarks_term $ fault_term
+      $ trace_term $ events_term $ metrics_term)
   in
   Cmd.v (Cmd.info name ~doc) term
 
@@ -169,14 +195,15 @@ let nobench_cmd name ~doc f =
   let command = name in
   let term =
     Term.(
-      const (fun scale seed jobs trace events metrics ->
+      const (fun scale seed jobs fault trace events metrics ->
           apply_jobs jobs;
+          Runs.set_fault fault;
           with_obs ~command ~trace ~events ~metrics
             ~scale_label:scale.Scale.label ~seed (fun () ->
               print_string (f ~scale ~seed ());
               print_newline ()))
-      $ scale_term $ seed_term $ jobs_term $ trace_term $ events_term
-      $ metrics_term)
+      $ scale_term $ seed_term $ jobs_term $ fault_term $ trace_term
+      $ events_term $ metrics_term)
   in
   Cmd.v (Cmd.info name ~doc) term
 
@@ -211,14 +238,15 @@ let fig6_cmd =
 let ablation_cmd =
   let term =
     Term.(
-      const (fun scale seed jobs bench trace events metrics ->
+      const (fun scale seed jobs bench fault trace events metrics ->
           apply_jobs jobs;
+          Runs.set_fault fault;
           with_obs ~command:"ablation" ~trace ~events ~metrics
             ~scale_label:scale.Scale.label ~seed (fun () ->
               print_string (Drivers.ablation ~bench ~scale ~seed ());
               print_newline ()))
       $ scale_term $ seed_term $ jobs_term $ bench_term ~default:"gemver"
-      $ trace_term $ events_term $ metrics_term)
+      $ fault_term $ trace_term $ events_term $ metrics_term)
   in
   Cmd.v
     (Cmd.info "ablation"
@@ -517,67 +545,211 @@ let bench_diff_cmd =
           machines, pre-manifest history — is skipped, never guessed at.")
     term
 
+(* The run key tune stamps on its event stream; resume reuses it so the
+   resumed stream is a continuation of the interrupted one. *)
+let tune_run_key ~bench ~scale_label =
+  Printf.sprintf "%s/%s/tune/0" bench scale_label
+
+(* Everything tune prints after training — shared with [resume] so a
+   resumed run's stdout is byte-identical to the uninterrupted run's. *)
+let report_tuned b (outcome : Learner.outcome) ~seed =
+  Printf.printf
+    "trained on %d configurations (%d runs, %.0f simulated s); final RMSE \
+     %.4f s\n"
+    outcome.distinct_examples outcome.total_runs outcome.total_cost
+    outcome.final_rmse;
+  (* Search the model for the best predicted configuration with both
+     random sampling and hill climbing; keep the better. *)
+  let module Search = Altune_core.Search in
+  let space =
+    Search.space_of_cardinalities
+      (Array.of_list (List.map Spapt.knob_cardinality (Spapt.knobs b)))
+  in
+  let rng = Rng.create ~seed:(seed + 1) in
+  let sampled =
+    Search.minimize ~rng space ~predict:outcome.predict
+      (Search.Random_sampling 20_000)
+  in
+  let climbed =
+    Search.minimize ~rng space ~predict:outcome.predict
+      (Search.Hill_climbing { restarts = 10; max_steps = 60 })
+  in
+  let best =
+    if climbed.predicted < sampled.predicted then climbed else sampled
+  in
+  let default = Array.make (Spapt.dim b) 0 in
+  Printf.printf "default config : true runtime %.4f s\n"
+    (Spapt.true_runtime b default);
+  Printf.printf
+    "best predicted : [%s] predicted %.4f s, true %.4f s (%d model \
+     queries)\n"
+    (String.concat ";" (List.map string_of_int (Array.to_list best.best)))
+    best.predicted
+    (Spapt.true_runtime b best.best)
+    (sampled.evaluations + climbed.evaluations)
+
 let tune_cmd =
+  let ckpt_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Periodically serialize the learner state to $(docv) (versioned \
+             JSON, atomically replaced) so an interrupted run can be \
+             continued with $(b,altune resume).  Checkpointing never \
+             changes the run's output.")
+  in
+  let every_term =
+    Arg.(
+      value & opt int 10
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Iterations between checkpoints (with $(b,--checkpoint)).")
+  in
+  let halt_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "halt-at" ] ~docv:"N"
+          ~doc:
+            "Stop the run at the first checkpoint taken at iteration >= \
+             $(docv), leaving the checkpoint file as the resume point \
+             (prints nothing to stdout; used to exercise kill-and-resume \
+             in tests and CI).  Requires $(b,--checkpoint).")
+  in
   let term =
     Term.(
-      const (fun scale seed bench trace events metrics ->
+      const (fun scale seed bench fault ckpt every halt_at trace events
+                 metrics ->
           with_obs ~command:"tune" ~trace ~events ~metrics
             ~scale_label:scale.Scale.label ~seed
           @@ fun () ->
           let b = Spapt.create bench in
           let problem = Adapter.problem_of b in
           let dataset = Runs.dataset_for b scale ~seed in
+          let run_key = tune_run_key ~bench ~scale_label:scale.Scale.label in
+          (* Same derivation as Runs.curves_for: the fault seed comes from
+             the run key, never from a stream, so it is schedule-free and
+             can be recorded verbatim in the checkpoint. *)
+          let fault_seed = Rng.derive ~seed [ S "fault"; S run_key ] in
+          let injector =
+            Option.map (fun s -> Fault.create s ~seed:fault_seed) fault
+          in
+          let checkpoint =
+            Option.map
+              (fun path ->
+                let meta =
+                  {
+                    Checkpoint.bench;
+                    scale = scale.Scale.label;
+                    seed;
+                    every;
+                    fault =
+                      Option.map
+                        (fun s -> (Fault.to_string s, fault_seed))
+                        fault;
+                  }
+                in
+                ( every,
+                  fun (st : Learner.state) ->
+                    Checkpoint.save ~path ~meta dataset st;
+                    match halt_at with
+                    | Some n when st.Learner.st_iteration >= n -> `Halt
+                    | _ -> `Continue ))
+              ckpt
+          in
           let outcome =
-            Events.with_run
-              (Printf.sprintf "%s/%s/tune/0" bench scale.Scale.label)
-              (fun () ->
-                Learner.run problem dataset scale.Scale.adaptive
-                  ~rng:(Rng.create ~seed))
+            Events.with_run run_key (fun () ->
+                try
+                  Some
+                    (Learner.run ?fault:injector ?checkpoint problem dataset
+                       scale.Scale.adaptive ~rng:(Rng.create ~seed))
+                with Learner.Halted -> None)
           in
-          Printf.printf
-            "trained on %d configurations (%d runs, %.0f simulated s); \
-             final RMSE %.4f s\n"
-            outcome.distinct_examples outcome.total_runs outcome.total_cost
-            outcome.final_rmse;
-          (* Search the model for the best predicted configuration with
-             both random sampling and hill climbing; keep the better. *)
-          let module Search = Altune_core.Search in
-          let space =
-            Search.space_of_cardinalities
-              (Array.of_list
-                 (List.map Spapt.knob_cardinality (Spapt.knobs b)))
-          in
-          let rng = Rng.create ~seed:(seed + 1) in
-          let sampled =
-            Search.minimize ~rng space ~predict:outcome.predict
-              (Search.Random_sampling 20_000)
-          in
-          let climbed =
-            Search.minimize ~rng space ~predict:outcome.predict
-              (Search.Hill_climbing { restarts = 10; max_steps = 60 })
-          in
-          let best =
-            if climbed.predicted < sampled.predicted then climbed else sampled
-          in
-          let default = Array.make (Spapt.dim b) 0 in
-          Printf.printf "default config : true runtime %.4f s\n"
-            (Spapt.true_runtime b default);
-          Printf.printf
-            "best predicted : [%s] predicted %.4f s, true %.4f s (%d model \
-             queries)\n"
-            (String.concat ";"
-               (List.map string_of_int (Array.to_list best.best)))
-            best.predicted
-            (Spapt.true_runtime b best.best)
-            (sampled.evaluations + climbed.evaluations))
-      $ scale_term $ seed_term $ bench_term ~default:"mm" $ trace_term
-      $ events_term $ metrics_term)
+          match outcome with
+          | None ->
+              (* Nothing on stdout: the resumed run must reproduce the
+                 uninterrupted run's stdout byte-for-byte on its own. *)
+              Printf.eprintf
+                "tune: halted at checkpoint; continue with 'altune resume \
+                 %s'\n"
+                (Option.get ckpt)
+          | Some outcome -> report_tuned b outcome ~seed)
+      $ scale_term $ seed_term $ bench_term ~default:"mm" $ fault_term
+      $ ckpt_term $ every_term $ halt_term $ trace_term $ events_term
+      $ metrics_term)
   in
   Cmd.v
     (Cmd.info "tune"
        ~doc:
          "Train an adaptive model on a benchmark and report the best \
           configuration it finds.")
+    term
+
+let resume_cmd =
+  let ckpt_term =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"CKPT"
+          ~doc:"Checkpoint file written by $(b,altune tune --checkpoint).")
+  in
+  let term =
+    Term.(
+      const (fun path trace events metrics ->
+          match Checkpoint.load path with
+          | Error e ->
+              Printf.eprintf "resume: %s: %s\n" path e;
+              Stdlib.exit 1
+          | Ok (meta, dataset, state) ->
+              let scale =
+                match Scale.of_label meta.scale with
+                | Some s -> s
+                | None ->
+                    Printf.eprintf "resume: unknown scale %S in checkpoint\n"
+                      meta.scale;
+                    Stdlib.exit 1
+              in
+              if not (List.mem meta.bench Kernels.names) then begin
+                Printf.eprintf "resume: unknown benchmark %S in checkpoint\n"
+                  meta.bench;
+                Stdlib.exit 1
+              end;
+              let injector =
+                match meta.fault with
+                | None -> None
+                | Some (spec_s, fault_seed) -> (
+                    match Fault.of_string spec_s with
+                    | Ok sp -> Some (Fault.create sp ~seed:fault_seed)
+                    | Error e ->
+                        Printf.eprintf
+                          "resume: bad fault spec in checkpoint: %s\n" e;
+                        Stdlib.exit 1)
+              in
+              with_obs ~command:"resume" ~trace ~events ~metrics
+                ~scale_label:meta.scale ~seed:meta.seed
+              @@ fun () ->
+              let b = Spapt.create meta.bench in
+              let problem = Adapter.problem_of b in
+              let run_key =
+                tune_run_key ~bench:meta.bench ~scale_label:meta.scale
+              in
+              let outcome =
+                Events.with_run run_key (fun () ->
+                    Learner.run ?fault:injector ~resume:state problem dataset
+                      scale.Scale.adaptive
+                      ~rng:(Rng.create ~seed:meta.seed))
+              in
+              report_tuned b outcome ~seed:meta.seed)
+      $ ckpt_term $ trace_term $ events_term $ metrics_term)
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Continue an interrupted $(b,altune tune) run from its checkpoint \
+          file.  The resumed run reproduces the uninterrupted run's output \
+          byte-for-byte (same model, same best configuration, same \
+          remaining event stream).")
     term
 
 let () =
@@ -601,6 +773,7 @@ let () =
             show_cmd;
             check_cmd;
             tune_cmd;
+            resume_cmd;
             trace_summary_cmd;
             report_cmd;
             bench_diff_cmd;

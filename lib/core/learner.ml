@@ -1,8 +1,10 @@
 module Rng = Altune_prng.Rng
 module Metrics = Altune_stats.Metrics
+module Obs_metrics = Altune_obs.Metrics
 module Welford = Altune_stats.Welford
 module Trace = Altune_obs.Trace
 module Events = Altune_obs.Events
+module Fault = Altune_exec.Fault
 
 type plan = Fixed of int | Adaptive of { max_obs : int }
 type strategy = Alc | Mackay | Random_selection
@@ -75,6 +77,40 @@ type outcome = {
   predict : Problem.config -> float;
 }
 
+type obs_entry = {
+  obs_key : string;
+  obs_n : int;
+  obs_sum : float;
+  obs_config : Problem.config;
+}
+
+type state = {
+  st_iteration : int;
+  st_run_counter : int;
+  st_attempt_counter : int;
+  st_cost : Cost.snapshot;
+  st_obs : obs_entry list;
+  st_dead : string list;
+  st_scaler_mean : float;
+  st_scaler_std : float;
+  st_noise_hint : float option;
+  st_refs : float array array;
+  st_observe_log : (float array * float) list;
+  st_rng_model : Rng.state;
+  st_rng : Rng.state;
+  st_curve : eval_point list;
+}
+
+exception Halted
+
+(* Fault-injection instruments (process-wide; only touched when a fault
+   spec is active, so fault-free runs never force them). *)
+let m_fault_crash = lazy (Obs_metrics.counter "learner.fault.crash")
+let m_fault_timeout = lazy (Obs_metrics.counter "learner.fault.timeout")
+let m_fault_corrupt = lazy (Obs_metrics.counter "learner.fault.corrupt")
+let m_fault_retry = lazy (Obs_metrics.counter "learner.fault.retries")
+let m_fault_dead = lazy (Obs_metrics.counter "learner.fault.dead")
+
 let validate settings =
   if settings.n_init < 1 then invalid_arg "Learner: n_init < 1";
   if settings.n_obs_init < 1 then invalid_arg "Learner: n_obs_init < 1";
@@ -107,11 +143,24 @@ let strategy_string = function
   | Mackay -> "mackay"
   | Random_selection -> "random"
 
-let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
+let run_loop ?fault ?checkpoint ?resume (problem : Problem.t)
+    (dataset : Dataset.t) settings ~rng:rng0 =
   validate settings;
-  let rng = Rng.split rng in
-  let cost = Cost.create () in
+  (* The learner's private stream lives in a cell so that resume can point
+     it at a restored cursor; every draw dereferences at call time. *)
+  let rng =
+    ref
+      (match resume with
+      | None -> Rng.split rng0
+      | Some st -> Rng.restore st.st_rng_model)
+  in
+  let cost =
+    match resume with
+    | None -> Cost.create ()
+    | Some st -> Cost.of_snapshot st.st_cost
+  in
   let run_counter = ref 0 in
+  let attempt_counter = ref 0 in
   (* Each simulated compile+profile is one traced span carrying the
      simulated seconds it charged, so the paper's cost curves can be
      reconstructed from the trace alone. *)
@@ -121,7 +170,7 @@ let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
         let compile_before = Cost.compile_seconds cost in
         Cost.charge_compile cost ~key:(Problem.key config)
           (problem.compile_seconds config);
-        let d = problem.measure ~rng ~run_index:!run_counter config in
+        let d = problem.measure ~rng:!rng ~run_index:!run_counter config in
         Cost.charge_run cost d;
         if Trace.enabled () then
           Trace.add_attrs
@@ -138,19 +187,133 @@ let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
   if Array.length pool = 0 then invalid_arg "Learner.run: empty train pool";
   (* Per visited configuration: observation count and running sum (the
      observed mean drives revisit eligibility); doubles as the visited
-     set. *)
+     set.  [obs_order] remembers first-insertion order so a resumed run
+     can rebuild the table with the same fold order (OCaml's Hashtbl
+     keeps a key's bucket position across [replace], so an identical
+     insertion sequence into an identical initial capacity reproduces
+     iteration order exactly — and fold order feeds candidate-list order,
+     which feeds rng draws). *)
   let obs_count : (string, int * float * Problem.config) Hashtbl.t =
     Hashtbl.create 1024
   in
+  let obs_order = ref [] in
   let seen key = Hashtbl.mem obs_count key in
   let note_obs config n sum =
     let key = Problem.key config in
     let prev_n, prev_sum =
       match Hashtbl.find_opt obs_count key with
       | Some (c, s, _) -> (c, s)
-      | None -> (0, 0.0)
+      | None ->
+          obs_order := key :: !obs_order;
+          (0, 0.0)
     in
     Hashtbl.replace obs_count key (prev_n + n, prev_sum +. sum, config)
+  in
+  (* Configurations that exhausted their fault retries: excluded from both
+     fresh sampling and the revisit candidate set, never aborting the run.
+     Empty (and behaviorally invisible) unless faults are injected. *)
+  let dead : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let dead_order = ref [] in
+  let mark_dead key =
+    Hashtbl.replace dead key ();
+    dead_order := key :: !dead_order
+  in
+  (* One profiling attempt under the fault model.  The verdict for the
+     [n]-th attempt of the run is a pure function of (fault seed, spec,
+     config key, n): the learner loop is sequential, so the global attempt
+     counter is schedule-independent, and fault draws never touch the
+     learner's own stream — with no spec the measurement path is exactly
+     the fault-free one. *)
+  let measure_faulty config =
+    match fault with
+    | None -> Some (measure config)
+    | Some fi ->
+        let spec = Fault.spec fi in
+        let key = Problem.key config in
+        let rec go local =
+          let verdict = Fault.draw fi ~key ~attempt:!attempt_counter in
+          incr attempt_counter;
+          match verdict with
+          | Fault.Ok -> Some (measure config)
+          | (Fault.Crash | Fault.Timeout _ | Fault.Corrupt) as v ->
+              let kind, counter, lost =
+                match v with
+                | Fault.Crash ->
+                    (* The attempt dies in (or before) compilation: the
+                       build time is wasted and the key is not marked
+                       compiled. *)
+                    ("crash", m_fault_crash, problem.compile_seconds config)
+                | Fault.Timeout s ->
+                    (* The binary built (cached as usual); the profiling
+                       run burned its budget and was killed. *)
+                    Cost.charge_compile cost ~key
+                      (problem.compile_seconds config);
+                    ("timeout", m_fault_timeout, s)
+                | Fault.Corrupt ->
+                    (* The run completed — consuming a measurement draw
+                       and its simulated duration — but produced garbage,
+                       so the seconds are charged as waste, not as a
+                       usable observation. *)
+                    Cost.charge_compile cost ~key
+                      (problem.compile_seconds config);
+                    incr run_counter;
+                    let d =
+                      problem.measure ~rng:!rng ~run_index:!run_counter config
+                    in
+                    ("corrupt", m_fault_corrupt, d)
+                | Fault.Ok -> assert false
+              in
+              let charged =
+                lost +. Fault.backoff_seconds spec ~failures:(local + 1)
+              in
+              Cost.charge_failure cost charged;
+              Obs_metrics.incr (Lazy.force counter);
+              Trace.with_span ~name:"learner.fault" ~phase:"profiling"
+                ~attrs:
+                  [
+                    ("config", Trace.String key);
+                    ("fault", Trace.String kind);
+                    ("attempt", Trace.Int local);
+                    ("lost_s", Trace.Float charged);
+                  ]
+                (fun () -> ());
+              if Events.enabled () then
+                Events.emit
+                  (Fault { config = key; attempt = local; fault = kind;
+                           lost_s = charged });
+              if local >= spec.max_retries then begin
+                mark_dead key;
+                Obs_metrics.incr (Lazy.force m_fault_dead);
+                if Events.enabled () then
+                  Events.emit
+                    (Fault
+                       { config = key; attempt = local; fault = "dead";
+                         lost_s = 0.0 });
+                None
+              end
+              else begin
+                Obs_metrics.incr (Lazy.force m_fault_retry);
+                go (local + 1)
+              end
+        in
+        go 0
+  in
+  (* [n] usable measurements of [config], or [None] once it goes dead.
+     The fault-free path must keep the exact allocation/evaluation shape
+     of the original code ([List.init] with an effectful body), because
+     its call order is part of the byte-compatibility contract. *)
+  let measure_many config n =
+    match fault with
+    | None -> Some (List.init n (fun _ -> measure config))
+    | Some _ ->
+        let rec go i acc =
+          if i = n then Some (List.rev acc)
+          else
+            match measure_faulty config with
+            | Some y -> go (i + 1) (y :: acc)
+            | None -> None
+        in
+        go 0 []
   in
   let sample_unseen n =
     (* Rejection sampling from the pool; the pool is much larger than the
@@ -162,9 +325,13 @@ let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
     let batch_seen = Hashtbl.create (2 * n) in
     while !found < n && !attempts < max_attempts do
       incr attempts;
-      let c = pool.(Rng.int rng (Array.length pool)) in
+      let c = pool.(Rng.int !rng (Array.length pool)) in
       let k = Problem.key c in
-      if (not (seen k)) && not (Hashtbl.mem batch_seen k) then begin
+      if
+        (not (seen k))
+        && (not (Hashtbl.mem dead k))
+        && not (Hashtbl.mem batch_seen k)
+      then begin
         Hashtbl.replace batch_seen k ();
         out := c :: !out;
         incr found
@@ -173,56 +340,112 @@ let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
     !out
   in
   let scaler = { mean = 0.0; std = 1.0 } in
-  (* Reference set for ALC: a fixed random subset of the training pool,
-     embedded once. *)
-  let refs =
-    Array.init (min settings.ref_size (Array.length pool)) (fun _ ->
-        problem.features (pool.(Rng.int rng (Array.length pool))))
-  in
-  (* --- Seed phase --- *)
-  let seed_configs =
-    Trace.with_span ~name:"learner.seed-sample" ~phase:"candidate-gen"
-      (fun () -> sample_unseen settings.n_init)
-  in
-  let seed_welford = ref Welford.empty in
-  let seed_data =
-    List.map
-      (fun config ->
-        let per_example =
-          match settings.plan with
-          | Fixed n -> n
-          | Adaptive _ -> settings.n_obs_init
+  (* Fresh start: run the seed phase (reference-set embedding, seed
+     sampling, seed profiling, scaler/noise calibration, model creation).
+     Resume: restore every piece of that state from the checkpoint, then
+     rebuild the model deterministically — the surrogate's posterior is a
+     function of (its creation-time rng cursor, the ordered observation
+     log), so restoring the pre-factory cursor, re-running the factory and
+     replaying the log reproduces it exactly, for any surrogate. *)
+  let refs, noise_hint, rng_model_state, model, seed_means =
+    match resume with
+    | None ->
+        (* Reference set for ALC: a fixed random subset of the training
+           pool, embedded once. *)
+        let refs =
+          Array.init (min settings.ref_size (Array.length pool)) (fun _ ->
+              problem.features (pool.(Rng.int !rng (Array.length pool))))
         in
-        let samples = List.init per_example (fun _ -> measure config) in
-        List.iter (fun y -> seed_welford := Welford.add !seed_welford y)
-          samples;
-        note_obs config per_example (List.fold_left ( +. ) 0.0 samples);
-        (config, samples))
-      seed_configs
+        (* --- Seed phase --- *)
+        let seed_configs =
+          Trace.with_span ~name:"learner.seed-sample" ~phase:"candidate-gen"
+            (fun () -> sample_unseen settings.n_init)
+        in
+        let seed_welford = ref Welford.empty in
+        let seed_data =
+          List.filter_map
+            (fun config ->
+              let per_example =
+                match settings.plan with
+                | Fixed n -> n
+                | Adaptive _ -> settings.n_obs_init
+              in
+              match measure_many config per_example with
+              | None -> None (* died under fault injection: drop it *)
+              | Some samples ->
+                  List.iter
+                    (fun y -> seed_welford := Welford.add !seed_welford y)
+                    samples;
+                  note_obs config per_example
+                    (List.fold_left ( +. ) 0.0 samples);
+                  Some (config, samples))
+            seed_configs
+        in
+        if seed_data = [] then
+          failwith
+            "Learner.run: every seed configuration exhausted its fault \
+             retries; nothing to train on";
+        scaler.mean <- Welford.mean !seed_welford;
+        scaler.std <-
+          (let s = Welford.std !seed_welford in
+           if s > 0.0 && Float.is_finite s then s else 1.0);
+        (* Noise hint for the surrogate's empirical prior: the mean
+           within-configuration variance seen during seeding, in
+           standardized units.  Without this calibration a default noise
+           prior dwarfs the true measurement noise on quiet benchmarks and
+           the learner over-revisits: expected variance reductions then
+           reflect the prior, not the data. *)
+        let noise_hint =
+          if not settings.empirical_prior then None
+          else
+            Some
+              (List.fold_left
+                 (fun acc (_, samples) ->
+                   acc
+                   +. Welford.variance
+                        (Welford.of_array (Array.of_list samples)))
+                 0.0 seed_data
+              /. float_of_int (max 1 (List.length seed_data))
+              /. (scaler.std *. scaler.std))
+        in
+        let rng_model_state = Rng.capture !rng in
+        let model = settings.model ~noise_hint ~rng:!rng ~dim:problem.dim in
+        (* Seed examples enter the model as their mean: the seed phase's
+           many observations exist to give the learner an accurate first
+           look, and a mean is that look.  (Feeding the raw replicates
+           instead makes every particle spend structure on five
+           x-locations it has seen 35 times.) *)
+        let seed_means =
+          List.map
+            (fun (config, samples) ->
+              ( config,
+                List.fold_left ( +. ) 0.0 samples
+                /. float_of_int (List.length samples) ))
+            seed_data
+        in
+        (refs, noise_hint, rng_model_state, model, seed_means)
+    | Some st ->
+        List.iter
+          (fun e ->
+            Hashtbl.replace obs_count e.obs_key (e.obs_n, e.obs_sum, e.obs_config);
+            obs_order := e.obs_key :: !obs_order)
+          st.st_obs;
+        List.iter mark_dead st.st_dead;
+        scaler.mean <- st.st_scaler_mean;
+        scaler.std <- st.st_scaler_std;
+        run_counter := st.st_run_counter;
+        attempt_counter := st.st_attempt_counter;
+        (* [rng] currently sits at the pre-factory cursor: re-run the
+           factory (replaying its creation-time draws), replay the
+           observation log, then jump to the checkpointed cursor. *)
+        let model =
+          settings.model ~noise_hint:st.st_noise_hint ~rng:!rng
+            ~dim:problem.dim
+        in
+        List.iter (fun (f, z) -> Surrogate.observe model f z) st.st_observe_log;
+        rng := Rng.restore st.st_rng;
+        (st.st_refs, st.st_noise_hint, st.st_rng_model, model, [])
   in
-  scaler.mean <- Welford.mean !seed_welford;
-  scaler.std <-
-    (let s = Welford.std !seed_welford in
-     if s > 0.0 && Float.is_finite s then s else 1.0);
-  (* Noise hint for the surrogate's empirical prior: the mean
-     within-configuration variance seen during seeding, in standardized
-     units.  Without this calibration a default noise prior dwarfs the
-     true measurement noise on quiet benchmarks and the learner
-     over-revisits: expected variance reductions then reflect the prior,
-     not the data. *)
-  let noise_hint =
-    if not settings.empirical_prior then None
-    else
-      Some
-        (List.fold_left
-           (fun acc (_, samples) ->
-             acc
-             +. Welford.variance (Welford.of_array (Array.of_list samples)))
-           0.0 seed_data
-        /. float_of_int (max 1 (List.length seed_data))
-        /. (scaler.std *. scaler.std))
-  in
-  let model = settings.model ~noise_hint ~rng ~dim:problem.dim in
   (* Learner telemetry (Altune_obs.Events): pure observation of decisions
      already made — emission consumes no randomness and touches no state
      the loop reads, so results are byte-identical with it on or off. *)
@@ -237,23 +460,20 @@ let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
            pool = Array.length pool;
            n_max = settings.n_max;
          });
+  (* The ordered observation log is what lets a checkpoint rebuild the
+     surrogate; only maintained when checkpointing is requested. *)
+  let tracking = Option.is_some checkpoint in
+  let observe_log =
+    ref (match resume with None -> [] | Some st -> List.rev st.st_observe_log)
+  in
   let observe_raw config y =
     Trace.with_span ~name:"learner.observe" ~phase:"tree-update" (fun () ->
-        Surrogate.observe model (problem.features config)
-          (standardize scaler y))
+        let f = problem.features config in
+        let z = standardize scaler y in
+        if tracking then observe_log := (f, z) :: !observe_log;
+        Surrogate.observe model f z)
   in
-  (* Seed examples enter the model as their mean: the seed phase's many
-     observations exist to give the learner an accurate first look, and a
-     mean is that look.  (Feeding the raw replicates instead makes every
-     particle spend structure on five x-locations it has seen 35 times.) *)
-  List.iter
-    (fun (config, samples) ->
-      let mean =
-        List.fold_left ( +. ) 0.0 samples
-        /. float_of_int (List.length samples)
-      in
-      observe_raw config mean)
-    seed_data;
+  List.iter (fun (config, mean) -> observe_raw config mean) seed_means;
   (* --- Evaluation --- *)
   let test_features = Array.map problem.features dataset.test_configs in
   let rmse () =
@@ -265,7 +485,9 @@ let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
         in
         Metrics.rmse ~predicted ~observed:dataset.test_means)
   in
-  let curve = ref [] in
+  let curve =
+    ref (match resume with None -> [] | Some st -> List.rev st.st_curve)
+  in
   let record iteration =
     let err = rmse () in
     if Events.enabled () then begin
@@ -312,12 +534,12 @@ let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
       }
       :: !curve
   in
-  record settings.n_init;
+  (match resume with None -> record settings.n_init | Some _ -> ());
   (* --- Active learning loop --- *)
   let score_all candidates =
     match settings.strategy with
     | Random_selection ->
-        List.map (fun c -> (c, Rng.uniform rng)) candidates
+        List.map (fun c -> (c, Rng.uniform !rng)) candidates
     | Mackay ->
         List.map
           (fun c ->
@@ -366,7 +588,33 @@ let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
                | last :: _ -> last.rmse <= target))
          settings.stop
   in
-  let iteration = ref settings.n_init in
+  let iteration =
+    ref (match resume with None -> settings.n_init | Some st -> st.st_iteration)
+  in
+  let capture_state () =
+    {
+      st_iteration = !iteration;
+      st_run_counter = !run_counter;
+      st_attempt_counter = !attempt_counter;
+      st_cost = Cost.snapshot cost;
+      st_obs =
+        List.rev_map
+          (fun key ->
+            let n, sum, config = Hashtbl.find obs_count key in
+            { obs_key = key; obs_n = n; obs_sum = sum; obs_config = config })
+          !obs_order;
+      st_dead = List.rev !dead_order;
+      st_scaler_mean = scaler.mean;
+      st_scaler_std = scaler.std;
+      st_noise_hint = noise_hint;
+      st_refs = refs;
+      st_observe_log = List.rev !observe_log;
+      st_rng_model = rng_model_state;
+      st_rng = Rng.capture !rng;
+      st_curve = List.rev !curve;
+    }
+  in
+  let last_checkpoint = ref !iteration in
   let stopped = ref (should_stop !iteration) in
   while not !stopped do
     let fresh, revisits =
@@ -384,8 +632,8 @@ let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
             | Fixed _ -> []
             | Adaptive { max_obs } ->
                 Hashtbl.fold
-                  (fun _ (count, sum, config) acc ->
-                    if count >= max_obs then acc
+                  (fun key (count, sum, config) acc ->
+                    if count >= max_obs || Hashtbl.mem dead key then acc
                     else begin
                       let f = problem.features config in
                       let p = Surrogate.predict model f in
@@ -420,15 +668,19 @@ let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
               | None -> 0
           in
           (match settings.plan with
-          | Fixed n ->
-              let samples = List.init n (fun _ -> measure config) in
-              let sum = List.fold_left ( +. ) 0.0 samples in
-              note_obs config n sum;
-              observe_raw config (sum /. float_of_int n)
-          | Adaptive _ ->
-              let y = measure config in
-              note_obs config 1 y;
-              observe_raw config y);
+          | Fixed n -> (
+              match measure_many config n with
+              | Some samples ->
+                  let sum = List.fold_left ( +. ) 0.0 samples in
+                  note_obs config n sum;
+                  observe_raw config (sum /. float_of_int n)
+              | None -> () (* went dead; the iteration's budget is spent *))
+          | Adaptive _ -> (
+              match measure_faulty config with
+              | Some y ->
+                  note_obs config 1 y;
+                  observe_raw config y
+              | None -> ()));
           if Events.enabled () then
             Events.emit
               (Select
@@ -447,7 +699,19 @@ let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
             || !iteration = settings.n_max
           then record !iteration)
         batch;
-      stopped := should_stop !iteration
+      stopped := should_stop !iteration;
+      match checkpoint with
+      | Some (every, save)
+        when (not !stopped) && every > 0
+             && !iteration - !last_checkpoint >= every -> (
+          last_checkpoint := !iteration;
+          match
+            Trace.with_span ~name:"learner.checkpoint" ~phase:"eval" (fun () ->
+                save (capture_state ()))
+          with
+          | `Continue -> ()
+          | `Halt -> raise Halted)
+      | _ -> ()
     end
   done;
   (* Runs cut short by a stop criterion still end with a recorded point. *)
@@ -480,7 +744,7 @@ let run_loop (problem : Problem.t) (dataset : Dataset.t) settings ~rng =
           (Surrogate.predict model (problem.features config)).mean);
   }
 
-let run (problem : Problem.t) dataset settings ~rng =
+let run ?fault ?checkpoint ?resume (problem : Problem.t) dataset settings ~rng =
   Trace.with_span ~name:"learner.run"
     ~attrs:[ ("problem", Trace.String problem.name) ]
-    (fun () -> run_loop problem dataset settings ~rng)
+    (fun () -> run_loop ?fault ?checkpoint ?resume problem dataset settings ~rng)

@@ -86,6 +86,69 @@ type outcome = {
       (** The trained model, as a runtime predictor in seconds. *)
 }
 
+(** {1 Checkpointing}
+
+    A {!state} is everything {!run} needs to continue a training run from
+    a loop boundary and reproduce the uninterrupted run byte-for-byte.
+    The surrogate itself is not serialized: its posterior is a
+    deterministic function of its creation-time rng cursor and the
+    ordered observation log, so resume restores [st_rng_model], re-runs
+    the factory, and replays [st_observe_log] — exact for any surrogate.
+    Serialize with {!Checkpoint}. *)
+
+type obs_entry = {
+  obs_key : string;
+  obs_n : int;
+  obs_sum : float;
+  obs_config : Problem.config;
+}
+
+type state = {
+  st_iteration : int;
+  st_run_counter : int;
+  st_attempt_counter : int;  (** Global fault-attempt counter. *)
+  st_cost : Cost.snapshot;
+  st_obs : obs_entry list;  (** In first-insertion order (load-bearing). *)
+  st_dead : string list;  (** Retry-exhausted configs, insertion order. *)
+  st_scaler_mean : float;
+  st_scaler_std : float;
+  st_noise_hint : float option;
+  st_refs : float array array;  (** Embedded ALC reference set. *)
+  st_observe_log : (float array * float) list;
+      (** Chronological (features, standardized response) pairs fed to the
+          surrogate. *)
+  st_rng_model : Altune_prng.Rng.state;
+      (** Learner-stream cursor just before the model factory ran. *)
+  st_rng : Altune_prng.Rng.state;  (** Cursor at the checkpoint. *)
+  st_curve : eval_point list;  (** Chronological. *)
+}
+
+exception Halted
+(** Raised by {!run} when the checkpoint callback returns [`Halt]: the
+    state passed to the callback is the resume point. *)
+
 val run :
-  Problem.t -> Dataset.t -> settings -> rng:Altune_prng.Rng.t -> outcome
-(** One training run.  Deterministic given the rng state. *)
+  ?fault:Altune_exec.Fault.t ->
+  ?checkpoint:int * (state -> [ `Continue | `Halt ]) ->
+  ?resume:state ->
+  Problem.t ->
+  Dataset.t ->
+  settings ->
+  rng:Altune_prng.Rng.t ->
+  outcome
+(** One training run.  Deterministic given the rng state.
+
+    [?fault] injects deterministic failures into every profiling attempt:
+    a failed attempt is retried with exponential simulated-cost backoff
+    (all lost seconds charged to the accumulated cost), and a
+    configuration that exhausts its retries is marked dead and excluded
+    from the candidate set — the run degrades gracefully instead of
+    aborting.  Fault draws never touch the learner's stream, so omitting
+    [?fault] reproduces the historical behavior exactly.
+
+    [?checkpoint:(every, save)] calls [save] with the current {!state} at
+    the first loop boundary at least [every] iterations after the last
+    checkpoint; [save] returning [`Halt] raises {!Halted}.  [?resume]
+    continues from such a state (pass the same problem, dataset, settings,
+    fault spec and seed) and reproduces the uninterrupted run's outcome
+    byte-for-byte. *)

@@ -160,7 +160,13 @@ let mapi ?label t f xs =
           v
         with
         | v -> results.(i) <- Some v
-        | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()))
+        | exception e ->
+            (* Capture the backtrace before anything else can run: a later
+               re-raise (e.g. of a nested fan-out's failure, surfaced here
+               on whichever domain helped drain the inner batch) must carry
+               the original raise site, not the helper's frames. *)
+            let bt = Printexc.get_raw_backtrace () in
+            errors.(i) <- Some (e, bt))
   in
   run_batch t thunks;
   (* The batch has fully drained: re-raise the first failure by task
@@ -173,7 +179,15 @@ let mapi ?label t f xs =
   List.init n (fun i ->
       match results.(i) with
       | Some v -> v
-      | None -> assert false (* no result implies an error, raised above *))
+      | None ->
+          (* Unreachable if the batch drained correctly; a descriptive
+             failure beats [assert false] if that invariant ever breaks. *)
+          raise
+            (Failure
+               (Printf.sprintf
+                  "Pool.mapi: task %d (%s) finished with neither result nor \
+                   error — batch accounting bug"
+                  i (label i))))
 
 let map ?label t f xs = mapi ?label t (fun _ x -> f x) xs
 

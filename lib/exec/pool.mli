@@ -16,7 +16,10 @@
     Failure contract: if tasks raise, every task of the batch is still
     executed (no silent loss), and the exception of the {e lowest-indexed}
     failing task is re-raised with its backtrace once the batch has
-    drained.
+    drained.  The backtrace is captured at the original raise site, so a
+    failure inside a {e nested} fan-out — where the helping scheduler may
+    execute the inner task on any domain — surfaces the raising task's
+    frames, not the helper's.
 
     Observability: every task runs inside an [Altune_obs.Trace] span named
     ["pool.task"] (with [label]/[index] attributes) parented to the

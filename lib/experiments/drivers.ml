@@ -6,6 +6,7 @@ module Welford = Altune_stats.Welford
 module Descriptive = Altune_stats.Descriptive
 module Report = Altune_report.Report
 module Pool = Altune_exec.Pool
+module Fault = Altune_exec.Fault
 
 let default_benchmarks = Altune_spapt.Kernels.names
 
@@ -28,6 +29,19 @@ let map_benches ~section f benches =
         ~label:(fun i -> Printf.sprintf "%s/%s" section names.(i))
         (Runs.pool ()) f benches)
 
+(* A speed-up can be undefined — a plan whose every run died under fault
+   injection yields nan/inf costs — and [Descriptive.geometric_mean]
+   rejects non-positive entries.  Summary cells degrade to "n/a" instead
+   of raising mid-render; with all entries finite and positive the output
+   is unchanged. *)
+let ratio_cell v =
+  if Float.is_finite v && v > 0.0 then Printf.sprintf "%.2f" v else "n/a"
+
+let geo_mean_cell speedups =
+  match List.filter (fun v -> Float.is_finite v && v > 0.0) speedups with
+  | [] -> "n/a"
+  | ok -> Printf.sprintf "%.2f" (Descriptive.geometric_mean (Array.of_list ok))
+
 (* --- Table 1 --- *)
 
 let table1_rows ~scale ~seed benches =
@@ -44,7 +58,7 @@ let table1_rows ~scale ~seed benches =
 let table1 ?benchmarks ~scale ~seed () =
   let rows = table1_rows ~scale ~seed (bench_list benchmarks) in
   let speedups = List.map (fun (_, _, c) -> c.Experiment.speedup) rows in
-  let geo = Descriptive.geometric_mean (Array.of_list speedups) in
+  let geo = geo_mean_cell speedups in
   let body =
     List.map
       (fun (name, space, (c : Experiment.comparison)) ->
@@ -54,10 +68,10 @@ let table1 ?benchmarks ~scale ~seed () =
           Report.f3 c.lowest_common_rmse;
           Report.sci c.cost_baseline;
           Report.sci c.cost_ours;
-          Printf.sprintf "%.2f" c.speedup;
+          ratio_cell c.speedup;
         ])
       rows
-    @ [ [ "geometric mean"; ""; ""; ""; ""; Printf.sprintf "%.2f" geo ] ]
+    @ [ [ "geometric mean"; ""; ""; ""; ""; geo ] ]
   in
   Printf.sprintf
     "Table 1: lowest common RMS error, profiling cost to reach it, speed-up\n\
@@ -315,14 +329,32 @@ let fig5 ?benchmarks ~scale ~seed () =
   let entries =
     List.map (fun (name, _, c) -> (name, c.Experiment.speedup)) rows
   in
-  let geo =
-    Descriptive.geometric_mean
-      (Array.of_list (List.map snd entries))
+  (* Non-finite speed-ups (a plan wiped out by fault injection) would
+     poison the bar chart's scale (Float.max nan x = nan); drop them and
+     only append a geo-mean bar when it is defined. *)
+  let shown = List.filter (fun (_, v) -> Float.is_finite v && v > 0.0) entries in
+  let geo_entry =
+    match shown with
+    | [] -> []
+    | ok ->
+        [
+          ( "geo-mean",
+            Descriptive.geometric_mean (Array.of_list (List.map snd ok)) );
+        ]
+  in
+  let dropped =
+    List.filter_map
+      (fun (name, v) ->
+        if Float.is_finite v && v > 0.0 then None
+        else Some (Printf.sprintf "%s: n/a" name))
+      entries
   in
   Printf.sprintf
-    "Figure 5: reduction of profiling cost vs. the 35-observation baseline\n\n%s"
-    (Report.Plot.bars ~title:"speed-up (x)"
-       (entries @ [ ("geo-mean", geo) ]))
+    "Figure 5: reduction of profiling cost vs. the 35-observation baseline\n\n%s%s"
+    (Report.Plot.bars ~title:"speed-up (x)" (shown @ geo_entry))
+    (match dropped with
+    | [] -> ""
+    | d -> "\nundefined speed-up: " ^ String.concat ", " d)
 
 (* --- Figure 6: error-vs-cost curves --- *)
 
@@ -379,7 +411,23 @@ let ablation ?(bench = "gemver") ~scale ~seed () =
     let seeds =
       List.init scale.Scale.reps (fun r -> Rng.derive ~seed [ S tag; I r ])
     in
-    let curve = Experiment.repeat problem dataset settings ~seeds None in
+    (* Under [--fault-spec] each repetition gets an injector seeded from
+       its own rep seed, threading faults through [Experiment.repeat]'s
+       hook without changing its interface. *)
+    let hook =
+      match Runs.fault_spec () with
+      | None -> None
+      | Some spec ->
+          Some
+            (fun rep_seed ->
+              Learner.run
+                ~fault:
+                  (Fault.create spec
+                     ~seed:(Rng.derive ~seed:rep_seed [ S "fault" ]))
+                problem dataset settings
+                ~rng:(Rng.create ~seed:rep_seed))
+    in
+    let curve = Experiment.repeat problem dataset settings ~seeds hook in
     let final =
       match List.rev curve with
       | [] -> nan

@@ -5,6 +5,7 @@ module Experiment = Altune_core.Experiment
 module Learner = Altune_core.Learner
 module Pool = Altune_exec.Pool
 module Memo = Altune_exec.Memo
+module Fault = Altune_exec.Fault
 module Trace = Altune_obs.Trace
 module Events = Altune_obs.Events
 
@@ -66,6 +67,16 @@ let pool () =
   Mutex.unlock pool_lock;
   p
 
+(* --- Fault injection --------------------------------------------------- *)
+
+(* Process-wide fault spec (the CLI's [--fault-spec]).  Like [set_jobs],
+   set it before experiments start; every learner run then gets a fault
+   injector seeded from its own run key, so faults are deterministic per
+   run and independent of scheduling. *)
+let fault_state = ref (None : Fault.spec option)
+let set_fault s = fault_state := s
+let fault_spec () = !fault_state
+
 (* --- Caches ----------------------------------------------------------- *)
 
 (* Compute-once memo tables: Table 1, Figure 5 and Figure 6 share curves,
@@ -100,7 +111,13 @@ let dataset_for bench (scale : Scale.t) ~seed =
    bit-identical at any job count. *)
 let curves_for bench (scale : Scale.t) ~seed =
   let name = Spapt.name bench in
-  let key = Printf.sprintf "%s/%s/%d" name scale.label seed in
+  let fspec = fault_spec () in
+  let key =
+    Printf.sprintf "%s/%s/%d%s" name scale.label seed
+      (match fspec with
+      | None -> ""
+      | Some s -> "|fault:" ^ Fault.to_string s)
+  in
   Memo.find_or_compute curve_cache key (fun () ->
       Trace.with_span ~name:"runs.curves"
         ~attrs:[ ("key", Trace.String key) ]
@@ -135,9 +152,19 @@ let curves_for bench (scale : Scale.t) ~seed =
             let run_key =
               Printf.sprintf "%s/%s/%s/%d" name scale.label tag r
             in
+            (* The fault seed is derived from the run key, not drawn from
+               any stream: the same (bench, scale, plan, rep) sees the
+               same faults at any job count. *)
+            let fault =
+              Option.map
+                (fun s ->
+                  Fault.create s
+                    ~seed:(Rng.derive ~seed [ S "fault"; S run_key ]))
+                fspec
+            in
             ( tag,
               Events.with_run run_key (fun () ->
-                  (Learner.run problem dataset settings
+                  (Learner.run ?fault problem dataset settings
                      ~rng:(Rng.create ~seed:rep_seed))
                     .curve) ))
           tasks

@@ -24,6 +24,16 @@ val set_jobs : ?on_event:(Altune_exec.Pool.event -> unit) -> int -> unit
 val jobs : unit -> int
 (** Parallelism of the shared pool ([set_jobs]'s value, or the default). *)
 
+val set_fault : Altune_exec.Fault.spec option -> unit
+(** [set_fault (Some spec)] injects deterministic faults (the CLI's
+    [--fault-spec]) into every learner run launched by {!curves_for} and
+    the drivers; each run's injector is seeded from its run key, so
+    results stay bit-identical at any job count.  Set it before
+    experiments start (cached curves are keyed by the spec).  [None]
+    (the default) disables injection. *)
+
+val fault_spec : unit -> Altune_exec.Fault.spec option
+
 val pool : unit -> Altune_exec.Pool.t
 (** The shared pool, created on first use.  Drivers fan benchmarks out on
     it; {!curves_for} fans repetitions out on it (nested use is safe). *)

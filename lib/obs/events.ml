@@ -43,7 +43,20 @@ type finish = {
   rmse : float;
 }
 
-type kind = Start of start | Select of select | Eval of eval | Finish of finish
+type fault = {
+  config : string;
+  attempt : int;
+  fault : string;
+  lost_s : float;
+}
+
+type kind =
+  | Start of start
+  | Select of select
+  | Eval of eval
+  | Finish of finish
+  | Fault of fault
+
 type t = { run : string; seq : int; kind : kind }
 
 (* --- JSON encoding ----------------------------------------------------- *)
@@ -118,6 +131,15 @@ let to_json { run; seq; kind } =
             ("observations", Json.Int f.observations);
             ("cost_s", Json.Float f.cost_s);
             ("rmse", Json.Float f.rmse);
+          ])
+  | Fault f ->
+      Json.Obj
+        (common "fault"
+        @ [
+            ("config", Json.String f.config);
+            ("attempt", Json.Int f.attempt);
+            ("fault", Json.String f.fault);
+            ("lost_s", Json.Float f.lost_s);
           ])
 
 (* --- JSON decoding ----------------------------------------------------- *)
@@ -224,6 +246,12 @@ let of_json j =
         let* cost_s = require "cost_s" (float_field j "cost_s") in
         let* rmse = require "rmse" (float_field j "rmse") in
         Ok (Finish { iterations; examples; observations; cost_s; rmse })
+    | "fault" ->
+        let* config = require "config" (str_field j "config") in
+        let* attempt = require "attempt" (int_field j "attempt") in
+        let* fault = require "fault" (str_field j "fault") in
+        let* lost_s = require "lost_s" (float_field j "lost_s") in
+        Ok (Fault { config; attempt; fault; lost_s })
     | other -> Error (Printf.sprintf "learner event: unknown kind %S" other)
   in
   Ok { run; seq; kind }

@@ -68,7 +68,22 @@ type finish = {
   rmse : float;
 }
 
-type kind = Start of start | Select of select | Eval of eval | Finish of finish
+type fault = {
+  config : string;  (** Config key whose profiling attempt failed. *)
+  attempt : int;  (** 0-based attempt number at this selection. *)
+  fault : string;
+      (** ["crash"], ["timeout"], ["corrupt"], or ["dead"] (retries
+          exhausted, config excluded from the candidate set). *)
+  lost_s : float;  (** Simulated seconds charged for this failure. *)
+}
+(** One injected-fault occurrence (emitted only under [--fault-spec]). *)
+
+type kind =
+  | Start of start
+  | Select of select
+  | Eval of eval
+  | Finish of finish
+  | Fault of fault
 
 type t = { run : string; seq : int; kind : kind }
 (** One event: the run it belongs to (the {!with_run} key), its position

@@ -205,3 +205,34 @@ let pick_list t l =
   match l with
   | [] -> invalid_arg "Rng.pick_list: empty list"
   | _ :: _ -> List.nth l (int t (List.length l))
+
+(* Defined last: the labels shadow [t]'s mutable fields of the same name,
+   so everything above keeps resolving them against [t]. *)
+type state = {
+  s0 : int64;
+  s1 : int64;
+  s2 : int64;
+  s3 : int64;
+  spare : float;
+  has_spare : bool;
+}
+
+let capture (t : t) =
+  {
+    s0 = t.s0;
+    s1 = t.s1;
+    s2 = t.s2;
+    s3 = t.s3;
+    spare = t.spare;
+    has_spare = t.has_spare;
+  }
+
+let restore (s : state) : t =
+  {
+    s0 = s.s0;
+    s1 = s.s1;
+    s2 = s.s2;
+    s3 = s.s3;
+    spare = s.spare;
+    has_spare = s.has_spare;
+  }

@@ -31,6 +31,26 @@ val copy : t -> t
 (** [copy t] is an independent duplicate of [t]'s current state: both copies
     will produce the same future stream. *)
 
+type state = {
+  s0 : int64;
+  s1 : int64;
+  s2 : int64;
+  s3 : int64;
+  spare : float;
+  has_spare : bool;
+}
+(** A generator's full cursor: the four xoshiro256** words plus the cached
+    Marsaglia spare variate.  Transparent so checkpoints can serialize it
+    exactly (the floats must round-trip via their IEEE-754 bits). *)
+
+val capture : t -> state
+(** [capture t] snapshots [t]'s cursor without advancing it. *)
+
+val restore : state -> t
+(** [restore s] is a generator whose future stream is exactly the stream
+    [capture]'s subject would have produced: [restore (capture t)] and [t]
+    are interchangeable from here on. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a new generator seeded from it; the
     two streams are decorrelated. *)

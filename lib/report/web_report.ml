@@ -105,7 +105,7 @@ let runs_of_events events =
         match ev.kind with
         | Events.Select s -> { cur with selects = s :: cur.selects }
         | Events.Eval e -> { cur with evals = e :: cur.evals }
-        | Events.Start _ | Events.Finish _ -> cur
+        | Events.Start _ | Events.Finish _ | Events.Fault _ -> cur
       in
       Hashtbl.replace tbl k cur)
     events;
@@ -152,10 +152,19 @@ let average_indexed lists f =
           max_int lists
       in
       let arrays = List.map Array.of_list lists in
-      let k = float_of_int (List.length arrays) in
       List.init shortest (fun i ->
-          let points = List.map (fun a -> a.(i)) arrays in
-          List.fold_left (fun acc p -> acc +. f p) 0.0 points /. k)
+          (* Average only the finite contributions: one repetition without
+             (say) tree stats yields nan and must not poison the mean of
+             the repetitions that do have data.  When every contribution
+             is finite this is the plain mean, bit-for-bit (same order,
+             same sum, same divisor). *)
+          let points = List.map (fun a -> f a.(i)) arrays in
+          let finite = List.filter Float.is_finite points in
+          match finite with
+          | [] -> nan
+          | _ ->
+              List.fold_left ( +. ) 0.0 finite
+              /. float_of_int (List.length finite))
 
 let averaged_eval_series group runs ~x ~y =
   List.map
@@ -258,7 +267,13 @@ let csv_row (ev : Events.t) =
     | Finish f ->
         base "finish"
         @ [ i f.iterations; ""; ""; ""; "";
-            i f.examples; i f.observations; g f.cost_s; g f.rmse ])
+            i f.examples; i f.observations; g f.cost_s; g f.rmse ]
+    | Fault f ->
+        (* The fault type rides in the kind column; attempt reuses the
+           config_obs column and lost seconds the cost_s column, keeping
+           the header stable for existing consumers. *)
+        base ("fault:" ^ f.fault)
+        @ [ ""; f.config; ""; ""; i f.attempt; ""; ""; g f.lost_s ])
 
 let events_csv events =
   Report.Csv.to_string ~header:csv_header ~rows:(List.map csv_row events)

@@ -68,6 +68,29 @@ let test_exception_propagation () =
           Alcotest.(check int) "first failure by index" 3 i;
           Alcotest.(check int) "all tasks ran" 10 (Atomic.get ran))
 
+let test_nested_exception_original () =
+  (* A raise inside a *nested* fan-out must surface the original
+     exception (constructor and payload intact, backtrace captured at the
+     raise site), not a helper-mangled one — and every inner task still
+     runs. *)
+  let ran = Atomic.make 0 in
+  Pool.with_pool ~jobs:2 (fun p ->
+      match
+        Pool.map p
+          (fun row ->
+            Pool.map p
+              (fun col ->
+                Atomic.incr ran;
+                if row = 2 && col = 1 then raise (Boom ((10 * row) + col));
+                col)
+              [ 0; 1; 2 ])
+          [ 1; 2; 3 ]
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom v ->
+          Alcotest.(check int) "original payload through nested fan-out" 21 v;
+          Alcotest.(check int) "inner batch fully drained" 9 (Atomic.get ran))
+
 let test_pool_survives_failed_batch () =
   Pool.with_pool ~jobs:2 (fun p ->
       (match Pool.map p (fun () -> failwith "x") [ (); () ] with
@@ -253,6 +276,8 @@ let () =
           Alcotest.test_case "map_reduce" `Quick test_map_reduce;
           Alcotest.test_case "exception propagation" `Quick
             test_exception_propagation;
+          Alcotest.test_case "nested fan-out raises original" `Quick
+            test_nested_exception_original;
           Alcotest.test_case "pool survives failed batch" `Quick
             test_pool_survives_failed_batch;
           Alcotest.test_case "progress events" `Quick test_progress_events;

@@ -160,6 +160,39 @@ let test_svg_bar_chart () =
   Alcotest.(check bool) "value labels" true (contains s "0.5");
   Alcotest.(check bool) "tooltips" true (contains s "<title>dim 0: 0.5</title>")
 
+(* Regression: non-finite data (an all-failed repetition under fault
+   injection averages to nan, an empty curve yields infinities) must
+   never leak literal NaN/inf tokens into SVG path data or labels. *)
+let test_svg_no_nonfinite_tokens () =
+  let tokens = [ "nan"; "NaN"; "inf"; "Infinity" ] in
+  let assert_clean label s =
+    List.iter
+      (fun t ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: no %S token" label t)
+          false (contains s t))
+      tokens
+  in
+  assert_clean "line chart, mixed finiteness"
+    (Svg.line_chart ~xlabel:"x" ~ylabel:"y"
+       [
+         ( "a",
+           [ (nan, 1.0); (1.0, nan); (2.0, 3.0); (infinity, 1.0);
+             (3.0, neg_infinity) ] );
+         ("b", [ (nan, nan) ]);
+       ]);
+  assert_clean "line chart, nothing finite"
+    (Svg.line_chart ~xlabel:"x" ~ylabel:"y"
+       [ ("a", [ (nan, nan); (infinity, neg_infinity) ]) ]);
+  assert_clean "line chart, logx with non-positive x"
+    (Svg.line_chart ~logx:true ~xlabel:"x" ~ylabel:"y"
+       [ ("a", [ (0.0, 1.0); (-1.0, 2.0); (10.0, 3.0) ]) ]);
+  assert_clean "bar chart"
+    (Svg.bar_chart ~xlabel:"v"
+       [ ("ok", 1.0); ("bad", nan); ("worse", infinity); ("neg", -1.0) ]);
+  assert_clean "bar chart, nothing finite"
+    (Svg.bar_chart ~xlabel:"v" [ ("bad", nan); ("worse", neg_infinity) ])
+
 let test_html_page () =
   let body =
     Html.section ~title:"A <section>" ~intro:"intro"
@@ -215,6 +248,8 @@ let () =
           Alcotest.test_case "line chart" `Quick test_svg_line_chart;
           Alcotest.test_case "series cap" `Quick test_svg_series_cap;
           Alcotest.test_case "bar chart" `Quick test_svg_bar_chart;
+          Alcotest.test_case "no non-finite tokens" `Quick
+            test_svg_no_nonfinite_tokens;
         ] );
       ("html", [ Alcotest.test_case "page" `Quick test_html_page ]);
       ("properties", [ QCheck_alcotest.to_alcotest prop_table_never_raises ]);
