@@ -21,6 +21,8 @@ module Summary = Altune_obs.Summary
 module Events = Altune_obs.Events
 module Bench_diff = Altune_obs.Bench_diff
 module Web_report = Altune_report.Web_report
+module Conc_scenarios = Altune_conc.Scenarios
+module Conc_explore = Altune_conc.Explore
 open Cmdliner
 
 let scale_arg =
@@ -752,6 +754,195 @@ let resume_cmd =
           remaining event stream).")
     term
 
+(* Append one throughput record to a BENCH_harness.json-format file,
+   preserving existing records (same line protocol as bench/main.ml's
+   write_harness_json: one "  {...}" line per record). *)
+let append_concheck_record ~path ~seed ~schedules ~seconds =
+  let manifest = Manifest.capture ~scale:"conc" ~jobs:1 ~seed () in
+  let existing =
+    if not (Sys.file_exists path) then []
+    else begin
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.length line > 3 && String.sub line 0 3 = "  {" then begin
+             let line =
+               if line.[String.length line - 1] = ',' then
+                 String.sub line 0 (String.length line - 1)
+               else line
+             in
+             lines := line :: !lines
+           end
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !lines
+    end
+  in
+  let rate = if seconds > 0.0 then float_of_int schedules /. seconds else 0.0 in
+  let fresh =
+    Printf.sprintf
+      "  {\"section\": \"concheck\", \"scale\": %S, \"jobs\": %d, \
+       \"seconds\": %.3f, \"host\": %S, \"cores\": %d, \"git_rev\": %S, \
+       \"ocaml\": %S, \"seed\": %d, \"schedules\": %d, \
+       \"schedules_per_sec\": %.0f}"
+      manifest.scale 1 seconds manifest.hostname manifest.cores
+      manifest.git_rev manifest.ocaml_version manifest.seed schedules rate
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" (existing @ [ fresh ]));
+  close_out oc
+
+let concheck_cmd =
+  let schedules_term =
+    Arg.(
+      value & opt int 4000
+      & info [ "schedules" ] ~docv:"N"
+          ~doc:
+            "Schedule budget per scenario.  Small scenarios are first \
+             enumerated exhaustively (with sleep-set pruning); any \
+             remaining budget — and all of it for large scenarios — is \
+             spent on seeded PCT and uniform-random schedules.")
+  in
+  let scenario_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Check only this scenario (see $(b,--list)).")
+  in
+  let min_distinct_term =
+    Arg.(
+      value & opt int 1000
+      & info [ "min-distinct" ] ~docv:"N"
+          ~doc:
+            "Fail a scenario that explored fewer than $(docv) distinct \
+             interleavings, unless its schedule space was exhausted \
+             (exhaustion is a stronger guarantee than any sample size).")
+  in
+  let report_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write the full per-scenario report (including both access \
+             sites of every race) to $(docv).")
+  in
+  let bench_out_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-out" ] ~docv:"FILE"
+          ~doc:
+            "Append an aggregate schedules/sec throughput record to \
+             $(docv) (BENCH_harness.json format, manifest-stamped).")
+  in
+  let list_term =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the scenario catalog and exit.")
+  in
+  let term =
+    Term.(
+      const (fun schedules seed scenario min_distinct report_file bench_out
+                 list ->
+          if list then
+            List.iter
+              (fun (sc : Conc_scenarios.t) ->
+                Printf.printf "%-16s %-16s %s\n" sc.name
+                  (match sc.expect with
+                  | Conc_scenarios.Clean -> "clean"
+                  | Conc_scenarios.Race -> "race-fixture"
+                  | Conc_scenarios.Deadlock -> "deadlock-fixture")
+                  sc.descr)
+              Conc_scenarios.all
+          else begin
+            let scenarios =
+              match scenario with
+              | None -> Conc_scenarios.all
+              | Some n -> (
+                  match Conc_scenarios.find n with
+                  | Some sc -> [ sc ]
+                  | None ->
+                      Printf.eprintf
+                        "concheck: unknown scenario %S (try --list)\n" n;
+                      Stdlib.exit 2)
+            in
+            let t0 = Unix.gettimeofday () in
+            let reports =
+              List.map
+                (Conc_explore.run_scenario ~budget:schedules ~seed)
+                scenarios
+            in
+            let wall = Unix.gettimeofday () -. t0 in
+            let failures = ref 0 in
+            List.iter
+              (fun (r : Conc_explore.report) ->
+                let thin =
+                  (not r.exhausted) && r.distinct < min_distinct
+                in
+                if (not r.passed) || thin then incr failures;
+                print_string (Conc_explore.summary_line r);
+                print_newline ();
+                if thin then
+                  Printf.printf
+                    "  FAIL: only %d distinct schedules (< %d) and the \
+                     space was not exhausted\n"
+                    r.distinct min_distinct;
+                List.iter
+                  (fun v -> Printf.printf "  violation: %s\n" v)
+                  r.violations)
+              reports;
+            let total_schedules =
+              List.fold_left
+                (fun acc (r : Conc_explore.report) -> acc + r.schedules_run)
+                0 reports
+            in
+            Printf.printf
+              "concheck: %d scenario(s), %d schedules in %.2fs (%.0f \
+               schedules/sec), seed %d\n"
+              (List.length reports) total_schedules wall
+              (if wall > 0.0 then float_of_int total_schedules /. wall
+               else 0.0)
+              seed;
+            (match report_file with
+            | None -> ()
+            | Some path ->
+                let oc = open_out path in
+                List.iter
+                  (fun r -> output_string oc (Conc_explore.report_to_string r))
+                  reports;
+                close_out oc;
+                Printf.printf "concheck: full report in %s\n" path);
+            (match bench_out with
+            | None -> ()
+            | Some path ->
+                append_concheck_record ~path ~seed ~schedules:total_schedules
+                  ~seconds:wall);
+            if !failures > 0 then begin
+              Printf.printf "concheck: %d scenario(s) FAILED\n" !failures;
+              Stdlib.exit 1
+            end
+          end)
+      $ schedules_term $ seed_term $ scenario_term $ min_distinct_term
+      $ report_term $ bench_out_term $ list_term)
+  in
+  Cmd.v
+    (Cmd.info "concheck"
+       ~doc:
+         "Model-check the execution engine's concurrency: run bounded \
+          pool/memo/fault scenarios under many deterministically-seeded \
+          thread interleavings (cooperative scheduler over the Sync shim), \
+          detect data races with FastTrack-style vector clocks (reporting \
+          both access sites), detect deadlocks and lost wakeups, and \
+          assert that everything the engine promises is schedule-invariant \
+          actually is.  Deliberately-broken fixtures validate the detector \
+          itself.  Exit 1 on any violation.")
+    term
+
 let () =
   let doc =
     "Reproduction of 'Minimizing the Cost of Iterative Compilation with \
@@ -777,4 +968,5 @@ let () =
             trace_summary_cmd;
             report_cmd;
             bench_diff_cmd;
+            concheck_cmd;
           ]))

@@ -1,0 +1,204 @@
+module Rng = Altune_prng.Rng
+
+type report = {
+  scenario : string;
+  expect : Scenarios.expect;
+  schedules_run : int;
+  distinct : int;
+  pruned : int;
+  exhausted : bool;
+  races : Racecheck.race list;
+  deadlocks : int;
+  violations : string list;
+  wall_seconds : float;
+  steps_total : int;
+  passed : bool;
+}
+
+let expect_to_string = function
+  | Scenarios.Clean -> "clean"
+  | Scenarios.Race -> "race-fixture"
+  | Scenarios.Deadlock -> "deadlock-fixture"
+
+let render_deadlock (d : Sched.deadlock) =
+  String.concat "; "
+    (List.map
+       (fun (e : Sched.deadlock_entry) ->
+         Printf.sprintf "thread %d blocked on %s" e.Sched.d_tid
+           e.Sched.d_pending)
+       d)
+
+let run_scenario ?(budget = 1200) ?(seed = 42) ?(max_steps = 200_000)
+    (sc : Scenarios.t) =
+  let t0 = Unix.gettimeofday () in
+  let hashes : (int, unit) Hashtbl.t = Hashtbl.create 512 in
+  let race_seen : (string * string * string * string, unit) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let races_rev = ref [] in
+  let schedules_run = ref 0 in
+  let pruned = ref 0 in
+  let deadlocks = ref 0 in
+  let deadlock_sample = ref None in
+  let steps_total = ref 0 in
+  let exhausted = ref false in
+  let reference = ref None in
+  let violations_rev = ref [] in
+  let violation_seen : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let add_violation msg =
+    if not (Hashtbl.mem violation_seen msg) then begin
+      Hashtbl.replace violation_seen msg ();
+      if Hashtbl.length violation_seen <= 8 then
+        violations_rev := msg :: !violations_rev
+    end
+  in
+  let typical_steps = ref 0 in
+  let one ~policy =
+    let fp = ref None in
+    let body () = fp := Some (sc.Scenarios.run ()) in
+    let o = Sched.run ~max_steps ~policy body in
+    steps_total := !steps_total + o.Sched.steps;
+    if !typical_steps = 0 then typical_steps := o.Sched.steps;
+    if o.Sched.pruned then incr pruned
+    else begin
+      incr schedules_run;
+      Hashtbl.replace hashes o.Sched.trace_hash ();
+      List.iter
+        (fun (r : Racecheck.race) ->
+          let key =
+            ( r.Racecheck.r_loc,
+              r.Racecheck.r_kind,
+              r.Racecheck.r_first.Racecheck.a_site,
+              r.Racecheck.r_second.Racecheck.a_site )
+          in
+          if not (Hashtbl.mem race_seen key) then begin
+            Hashtbl.replace race_seen key ();
+            races_rev := r :: !races_rev
+          end)
+        o.Sched.races;
+      (match o.Sched.deadlock with
+      | Some d ->
+          incr deadlocks;
+          if !deadlock_sample = None then
+            deadlock_sample := Some (render_deadlock d)
+      | None -> (
+          (* Only meaningful when the schedule ran to completion. *)
+          match (o.Sched.result, !fp) with
+          | Ok (), Some f when sc.Scenarios.expect = Scenarios.Clean -> (
+              match !reference with
+              | None -> reference := Some f
+              | Some r ->
+                  if r <> f then
+                    add_violation
+                      (Printf.sprintf
+                         "fingerprint diverges across schedules:\n\
+                         \  reference: %s\n\
+                         \  observed:  %s" r f))
+          | Ok (), _ -> ()
+          | Error e, _ ->
+              if sc.Scenarios.expect = Scenarios.Clean then
+                add_violation
+                  (Printf.sprintf "scenario body failed: %s"
+                     (Printexc.to_string e))))
+    end
+  in
+  let runs_done () = !schedules_run + !pruned in
+  (* Phase 1: exhaustive enumeration for small scenarios. *)
+  if sc.Scenarios.small then begin
+    let d = Policy.Dfs.create () in
+    let continue = ref true in
+    while !continue && runs_done () < budget do
+      match Policy.Dfs.next d with
+      | None -> continue := false
+      | Some policy ->
+          one ~policy;
+          Policy.Dfs.finish d
+    done;
+    exhausted := Policy.Dfs.complete d
+  end;
+  (* Phase 2: seeded randomized exploration for the remaining budget —
+     half PCT-style priority schedules, half uniform random.  Skipped
+     when DFS already enumerated the whole space: random replays could
+     only repeat equivalent interleavings. *)
+  let remaining = if !exhausted then 0 else max 0 (budget - runs_done ()) in
+  let n_pct = remaining / 2 in
+  let hint = max 32 !typical_steps in
+  for i = 0 to n_pct - 1 do
+    let rng =
+      Rng.create
+        ~seed:(Rng.derive ~seed [ S "concheck"; S sc.Scenarios.name; S "pct"; I i ])
+    in
+    one ~policy:(Policy.pct ~rng ~depth:3 ~length_hint:hint)
+  done;
+  for i = 0 to remaining - n_pct - 1 do
+    let rng =
+      Rng.create
+        ~seed:
+          (Rng.derive ~seed [ S "concheck"; S sc.Scenarios.name; S "rand"; I i ])
+    in
+    one ~policy:(Policy.random ~rng)
+  done;
+  (* Expectation checks. *)
+  let races = List.rev !races_rev in
+  (match sc.Scenarios.expect with
+  | Scenarios.Clean ->
+      List.iter
+        (fun r -> add_violation ("data race: " ^ Racecheck.race_to_string r))
+        races;
+      (match !deadlock_sample with
+      | Some d ->
+          add_violation
+            (Printf.sprintf "deadlock in %d/%d schedules: %s" !deadlocks
+               !schedules_run d)
+      | None -> ());
+      if !reference = None && !schedules_run > 0 then
+        add_violation "no schedule ran the scenario to completion"
+  | Scenarios.Race ->
+      if races = [] then
+        add_violation "fixture expected a data race; none was detected"
+  | Scenarios.Deadlock ->
+      if !deadlocks = 0 then
+        add_violation "fixture expected a deadlock; none was reached");
+  let violations = List.rev !violations_rev in
+  {
+    scenario = sc.Scenarios.name;
+    expect = sc.Scenarios.expect;
+    schedules_run = !schedules_run;
+    distinct = Hashtbl.length hashes;
+    pruned = !pruned;
+    exhausted = !exhausted;
+    races;
+    deadlocks = !deadlocks;
+    violations;
+    wall_seconds = Unix.gettimeofday () -. t0;
+    steps_total = !steps_total;
+    passed = violations = [];
+  }
+
+let summary_line r =
+  Printf.sprintf "%-16s %s  %5d schedules (%d distinct%s%s), %d steps, %.2fs"
+    r.scenario
+    (if r.passed then "PASS" else "FAIL")
+    r.schedules_run r.distinct
+    (if r.pruned > 0 then Printf.sprintf ", %d pruned" r.pruned else "")
+    (if r.exhausted then ", exhausted" else "")
+    r.steps_total r.wall_seconds
+
+let report_to_string r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (summary_line r);
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Printf.sprintf "  expectation: %s; deadlocked schedules: %d\n"
+       (expect_to_string r.expect) r.deadlocks);
+  List.iter
+    (fun race ->
+      Buffer.add_string b ("  race: " ^ Racecheck.race_to_string race);
+      Buffer.add_char b '\n')
+    r.races;
+  List.iter
+    (fun v ->
+      Buffer.add_string b ("  violation: " ^ v);
+      Buffer.add_char b '\n')
+    r.violations;
+  Buffer.contents b

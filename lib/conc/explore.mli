@@ -1,0 +1,46 @@
+(** The concheck driver: run a scenario under many schedules and check
+    its invariants.
+
+    Exploration mixes policies: for [small] scenarios an exhaustive DFS
+    with sleep-set pruning runs first (and may {e prove} the bounded
+    space clean); the remaining budget is split between PCT-style
+    priority schedules and uniform random ones, all derived
+    deterministically from the seed, so a report is reproducible with
+    [--seed].
+
+    Checked invariants, per scenario expectation:
+    - [Clean]: no data race on any schedule, no deadlock, the scenario
+      body never raises, and the fingerprint of every schedule equals
+      the first schedule's (results, event multisets and counter deltas
+      are schedule-invariant).
+    - [Race]: the detector must report at least one race (with both
+      access sites) — this validates the detector, not the engine.
+    - [Deadlock]: at least one explored schedule must end in a global
+      blocked state. *)
+
+type report = {
+  scenario : string;
+  expect : Scenarios.expect;
+  schedules_run : int;  (** completed (non-pruned) runs *)
+  distinct : int;  (** distinct interleavings by trace hash *)
+  pruned : int;
+  exhausted : bool;  (** DFS enumerated the whole bounded space *)
+  races : Racecheck.race list;  (** deduplicated across schedules *)
+  deadlocks : int;  (** schedules ending in a global blocked state *)
+  violations : string list;  (** human-readable; empty = pass *)
+  wall_seconds : float;
+  steps_total : int;
+  passed : bool;
+}
+
+val run_scenario :
+  ?budget:int -> ?seed:int -> ?max_steps:int -> Scenarios.t -> report
+(** [budget] (default 1200) is the target number of schedules; [seed]
+    (default 42) drives every policy. *)
+
+val report_to_string : report -> string
+(** Multi-line human-readable rendering, including both access sites of
+    every race. *)
+
+val summary_line : report -> string
+(** One-line [PASS]/[FAIL] rendering for terminal output. *)

@@ -1,0 +1,147 @@
+module Rng = Altune_prng.Rng
+
+type t = step:int -> enabled:int list -> pending:(int -> Sched.op) -> int
+
+let random ~rng : t =
+ fun ~step:_ ~enabled ~pending:_ ->
+  List.nth enabled (Rng.int rng (List.length enabled))
+
+let pct ~rng ~depth ~length_hint : t =
+  let priorities : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  (* High random base priorities; change points demote to 1..depth-1,
+     below every base priority, in the order the points are hit. *)
+  let change_points =
+    List.init (max 0 (depth - 1)) (fun _ -> Rng.int rng (max 1 length_hint))
+    |> List.sort_uniq compare
+  in
+  let remaining = ref change_points in
+  let next_demotion = ref 1 in
+  let priority tid =
+    match Hashtbl.find_opt priorities tid with
+    | Some p -> p
+    | None ->
+        let p = depth + Rng.int rng 1_000_000 in
+        Hashtbl.replace priorities tid p;
+        p
+  in
+  fun ~step ~enabled ~pending:_ ->
+    let best =
+      List.fold_left
+        (fun acc tid ->
+          match acc with
+          | None -> Some tid
+          | Some b -> if priority tid > priority b then Some tid else acc)
+        None enabled
+    in
+    let chosen = Option.get best in
+    (match !remaining with
+    | p :: rest when step >= p ->
+        remaining := rest;
+        Hashtbl.replace priorities chosen !next_demotion;
+        incr next_demotion
+    | _ -> ());
+    chosen
+
+module Dfs = struct
+  (* One node of the explored prefix.  [f_sleep] is the sleep set the
+     node inherited; [f_tried] the choices already fully explored here.
+     The next candidate at a node is the first enabled thread in
+     neither. *)
+  type frame = {
+    f_enabled : int list;
+    f_pend : (int * Sched.op) list;
+    f_sleep : int list;
+    mutable f_chosen : int;
+    mutable f_tried : int list;
+  }
+
+  type dfs = {
+    mutable path : frame list;  (* root first *)
+    mutable started : bool;
+    mutable complete : bool;
+  }
+
+  let create () = { path = []; started = false; complete = false }
+  let complete d = d.complete
+
+  let pend_of frame tid =
+    match List.assoc_opt tid frame.f_pend with
+    | Some op -> op
+    | None -> Sched.O_start
+
+  (* Sleep set a child inherits after taking [chosen] at [frame]:
+     threads already explored or asleep here whose pending operation
+     commutes with the branch taken. *)
+  let child_sleep frame =
+    List.filter
+      (fun s ->
+        Sched.independent (pend_of frame s) (pend_of frame frame.f_chosen))
+      (frame.f_sleep @ frame.f_tried)
+
+  let candidates ~enabled ~sleep = List.filter (fun t -> not (List.mem t sleep)) enabled
+
+  let next d =
+    if d.complete then None
+    else begin
+      let depth = ref 0 in
+      let policy : t =
+       fun ~step:_ ~enabled ~pending ->
+        let i = !depth in
+        incr depth;
+        match List.nth_opt d.path i with
+        | Some frame ->
+            (* Replaying the committed prefix: the scenario is
+               deterministic, so the same state must recur. *)
+            if frame.f_enabled <> enabled then
+              invalid_arg
+                "Policy.Dfs: scenario is not deterministic (enabled set \
+                 changed under replay)";
+            frame.f_chosen
+        | None ->
+            let parent_sleep =
+              if i = 0 then []
+              else
+                match List.nth_opt d.path (i - 1) with
+                | Some parent -> child_sleep parent
+                | None -> []
+            in
+            (match candidates ~enabled ~sleep:parent_sleep with
+            | [] ->
+                (* Everything enabled is asleep: any continuation is
+                   equivalent to an already-explored schedule. *)
+                raise Sched.Prune
+            | c :: _ ->
+                let frame =
+                  {
+                    f_enabled = enabled;
+                    f_pend = List.map (fun t -> (t, pending t)) enabled;
+                    f_sleep = parent_sleep;
+                    f_chosen = c;
+                    f_tried = [];
+                  }
+                in
+                d.path <- d.path @ [ frame ];
+                c)
+      in
+      d.started <- true;
+      Some policy
+    end
+
+  let finish d =
+    (* Backtrack: drop exhausted suffix frames, advance the deepest
+       frame that still has an untried, non-sleeping choice. *)
+    let rec back = function
+      | [] ->
+          d.path <- [];
+          d.complete <- true
+      | frame :: above ->
+          let sleep = frame.f_sleep @ frame.f_tried @ [ frame.f_chosen ] in
+          (match candidates ~enabled:frame.f_enabled ~sleep with
+          | [] -> back above
+          | c :: _ ->
+              frame.f_tried <- frame.f_chosen :: frame.f_tried;
+              frame.f_chosen <- c;
+              d.path <- List.rev (frame :: above))
+    in
+    back (List.rev d.path)
+end

@@ -1,0 +1,42 @@
+(** Schedule-selection policies for {!Sched.run}.
+
+    All policies are deterministic functions of their seed, so a failing
+    schedule is reproduced by rerunning with the same seed — which is
+    what makes a concheck failure debuggable rather than a flake. *)
+
+type t = step:int -> enabled:int list -> pending:(int -> Sched.op) -> int
+
+val random : rng:Altune_prng.Rng.t -> t
+(** Uniform choice among the enabled threads at every point. *)
+
+val pct : rng:Altune_prng.Rng.t -> depth:int -> length_hint:int -> t
+(** PCT-style priority schedule (Burckhardt et al., ASPLOS 2010): each
+    thread gets a random fixed priority on first sight, the
+    highest-priority enabled thread always runs, and [depth - 1]
+    priority-change points at random step indices in
+    [\[0, length_hint)] demote the running thread — biasing exploration
+    toward schedules with few, adversarially-placed preemptions, which
+    is where ordering bugs concentrate. *)
+
+(** Exhaustive DFS over scheduling choices with sleep-set pruning
+    (Godefroid): after a choice is fully explored at a node, it joins
+    the node's sleep set; descendants drop sleeping threads whose
+    pending operations are {!Sched.independent} of the branch taken, so
+    equivalent interleavings are enumerated once.  Replay-based: each
+    schedule re-runs the scenario with a forced choice prefix. *)
+module Dfs : sig
+  type dfs
+
+  val create : unit -> dfs
+
+  val next : dfs -> t option
+  (** Policy for the next schedule, or [None] when the space is
+      exhausted.  Run it to completion, then call {!finish}. *)
+
+  val finish : dfs -> unit
+  (** Advance to the next unexplored branch (backtracking). *)
+
+  val complete : dfs -> bool
+  (** Whether {!next} returned [None] because every non-equivalent
+      schedule was explored (a bounded proof, not a budget stop). *)
+end

@@ -1,0 +1,156 @@
+type access = { a_tid : int; a_site : string }
+
+type race = {
+  r_loc : string;
+  r_kind : string;
+  r_first : access;
+  r_second : access;
+}
+
+let race_to_string r =
+  Printf.sprintf "%s race on %s: [thread %d] %s  <->  [thread %d] %s" r.r_kind
+    r.r_loc r.r_first.a_tid r.r_first.a_site r.r_second.a_tid r.r_second.a_site
+
+(* Per-cell state: the last write as an epoch, reads as an epoch until
+   two reads are concurrent, then promoted to a per-thread table (the
+   FastTrack read-share representation). *)
+type rstate =
+  | R_none
+  | R_epoch of Vclock.epoch * access
+  | R_vec of (int, int * access) Hashtbl.t  (* tid -> (clock, site) *)
+
+type vstate = {
+  mutable w : Vclock.epoch;
+  mutable w_access : access option;
+  mutable r : rstate;
+}
+
+type t = {
+  threads : (int, Vclock.t) Hashtbl.t;
+  locks : (int, Vclock.t) Hashtbl.t;
+  vars : (int, vstate) Hashtbl.t;
+  mutable races_rev : race list;
+  seen : (string * string * string * string, unit) Hashtbl.t;
+}
+
+let create () =
+  {
+    threads = Hashtbl.create 16;
+    locks = Hashtbl.create 16;
+    vars = Hashtbl.create 64;
+    races_rev = [];
+    seen = Hashtbl.create 16;
+  }
+
+let clock_of t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some c -> c
+  | None ->
+      let c = Vclock.create () in
+      Vclock.set c tid 1;
+      Hashtbl.replace t.threads tid c;
+      c
+
+let lock_clock t l =
+  match Hashtbl.find_opt t.locks l with
+  | Some c -> c
+  | None ->
+      let c = Vclock.create () in
+      Hashtbl.replace t.locks l c;
+      c
+
+let var t loc =
+  match Hashtbl.find_opt t.vars loc with
+  | Some v -> v
+  | None ->
+      let v = { w = Vclock.none; w_access = None; r = R_none } in
+      Hashtbl.replace t.vars loc v;
+      v
+
+let report t ~name ~kind ~first ~second =
+  let key = (name, kind, first.a_site, second.a_site) in
+  if not (Hashtbl.mem t.seen key) then begin
+    Hashtbl.replace t.seen key ();
+    t.races_rev <-
+      { r_loc = name; r_kind = kind; r_first = first; r_second = second }
+      :: t.races_rev
+  end
+
+let races t = List.rev t.races_rev
+
+let start_thread t ~tid = ignore (clock_of t tid)
+
+let fork t ~parent ~child =
+  let cp = clock_of t parent in
+  let cc = clock_of t child in
+  Vclock.join ~into:cc cp;
+  Vclock.incr cp parent
+
+let join t ~parent ~child =
+  let cp = clock_of t parent in
+  let cc = clock_of t child in
+  Vclock.join ~into:cp cc;
+  Vclock.incr cc child
+
+let acquire t ~tid ~lock =
+  Vclock.join ~into:(clock_of t tid) (lock_clock t lock)
+
+let release t ~tid ~lock =
+  let c = clock_of t tid in
+  Hashtbl.replace t.locks lock (Vclock.copy c);
+  Vclock.incr c tid
+
+let write t ~tid ~loc ~name ~site =
+  let c = clock_of t tid in
+  let v = var t loc in
+  let me = { a_tid = tid; a_site = site } in
+  (* Write-write check against the last write... *)
+  if not (Vclock.epoch_leq v.w c) then
+    report t ~name ~kind:"write-write"
+      ~first:(Option.value v.w_access ~default:me)
+      ~second:me;
+  (* ...and read-write against every read not ordered before us. *)
+  (match v.r with
+  | R_none -> ()
+  | R_epoch (e, a) ->
+      if not (Vclock.epoch_leq e c) then
+        report t ~name ~kind:"read-write" ~first:a ~second:me
+  | R_vec tbl ->
+      Hashtbl.iter
+        (fun rtid (clk, a) ->
+          if clk > Vclock.get c rtid then
+            report t ~name ~kind:"read-write" ~first:a ~second:me)
+        tbl);
+  v.w <- Vclock.epoch_of c tid;
+  v.w_access <- Some me;
+  (* The reads the write was checked against are now ordered before any
+     later access that is ordered after this write; conflating them into
+     the write epoch keeps the state compact (a genuinely concurrent
+     earlier read was reported above before being dropped). *)
+  v.r <- R_none
+
+let read t ~tid ~loc ~name ~site =
+  let c = clock_of t tid in
+  let v = var t loc in
+  let me = { a_tid = tid; a_site = site } in
+  if not (Vclock.epoch_leq v.w c) then
+    report t ~name ~kind:"write-read"
+      ~first:(Option.value v.w_access ~default:me)
+      ~second:me;
+  let e = Vclock.epoch_of c tid in
+  match v.r with
+  | R_none -> v.r <- R_epoch (e, me)
+  | R_epoch (old, _) when Vclock.epoch_tid old = tid ->
+      (* Same thread reading again: its new epoch supersedes. *)
+      v.r <- R_epoch (e, me)
+  | R_epoch (old, _) when Vclock.epoch_leq old c ->
+      (* The previous read happens-before us: still one exclusive
+         reader's epoch. *)
+      v.r <- R_epoch (e, me)
+  | R_epoch (old, a) ->
+      (* Two concurrent readers: promote to the read-share vector. *)
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.replace tbl (Vclock.epoch_tid old) (Vclock.epoch_clock old, a);
+      Hashtbl.replace tbl tid (Vclock.epoch_clock e, me);
+      v.r <- R_vec tbl
+  | R_vec tbl -> Hashtbl.replace tbl tid (Vclock.epoch_clock e, me)

@@ -1,0 +1,53 @@
+(** FastTrack-style vector-clock data-race detector (Flanagan & Freund,
+    PLDI 2009) over the instrumented shared accesses that
+    [Altune_exec.Sync] routes into the model-checking scheduler.
+
+    The detector maintains a happens-before relation from the sync
+    events it is fed (fork/join, lock acquire/release — condition waits
+    are a release plus a reacquire) and checks every instrumented
+    read/write against the last conflicting accesses of its cell.  Last
+    accesses are kept as compact epochs and promoted to a full vector
+    only when reads are genuinely concurrent (the read-share case), so
+    the common paths are O(1).
+
+    A race report names the cell and {e both} access sites, which is
+    what makes a report actionable: the fix is at one of the two. *)
+
+type access = {
+  a_tid : int;
+  a_site : string;  (** Source site, e.g. ["memo.find_or_compute: publish"]. *)
+}
+
+type race = {
+  r_loc : string;  (** Cell name, e.g. ["memo.tbl"]. *)
+  r_kind : string;  (** ["write-write"], ["read-write"] or ["write-read"]. *)
+  r_first : access;
+  r_second : access;  (** The access that exposed the race. *)
+}
+
+val race_to_string : race -> string
+
+type t
+
+val create : unit -> t
+
+val start_thread : t -> tid:int -> unit
+(** Root threads only (the main thread); spawned threads are clocked by
+    {!fork}. *)
+
+val fork : t -> parent:int -> child:int -> unit
+val join : t -> parent:int -> child:int -> unit
+val acquire : t -> tid:int -> lock:int -> unit
+val release : t -> tid:int -> lock:int -> unit
+
+val read : t -> tid:int -> loc:int -> name:string -> site:string -> unit
+val write : t -> tid:int -> loc:int -> name:string -> site:string -> unit
+(** Feed one access.  Races are recorded, not raised, so one schedule
+    can surface several. *)
+
+val races : t -> race list
+(** All races seen, in detection order, deduplicated by
+    (cell, site pair, kind). *)
+
+val clock_of : t -> int -> Vclock.t
+(** The thread's current clock (tests). *)

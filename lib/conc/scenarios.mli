@@ -1,0 +1,35 @@
+(** The concheck scenario catalog: bounded concurrent workloads over the
+    real {!Altune_exec} engine (pool, memo, fault injection), plus
+    deliberately-broken fixtures that validate the detector itself.
+
+    Each scenario's [run] executes the workload once under whatever
+    scheduler is installed and returns a {e fingerprint} string.  For
+    [Clean] scenarios the fingerprint must be identical across every
+    explored schedule — it canonicalizes whatever the engine promises is
+    schedule-invariant (results in input order, sorted event multisets,
+    hit/miss counter deltas, first-failure index) and excludes what is
+    legitimately schedule-dependent (event arrival order, wall times,
+    steal and wait counts). *)
+
+type expect =
+  | Clean  (** no races, no deadlocks, fingerprint schedule-invariant *)
+  | Race  (** the detector must report at least one race *)
+  | Deadlock  (** at least one schedule must reach a global blocked state *)
+
+type t = {
+  name : string;
+  descr : string;
+  expect : expect;
+  small : bool;
+      (** Small enough for exhaustive DFS enumeration (a few threads,
+          short bodies); large scenarios are explored with randomized
+          policies only. *)
+  run : unit -> string;  (** Execute once; returns the fingerprint. *)
+}
+
+val pool_map : jobs:int -> t
+(** Parametrized by job count so the jobs-invariance test can compare
+    fingerprints at [jobs:1] vs [jobs:4]. *)
+
+val all : t list
+val find : string -> t option

@@ -1,0 +1,62 @@
+type t = { mutable c : int array }
+
+let create () = { c = [||] }
+
+let of_list l = { c = Array.of_list l }
+
+let to_list t =
+  let n = ref (Array.length t.c) in
+  while !n > 0 && t.c.(!n - 1) = 0 do decr n done;
+  Array.to_list (Array.sub t.c 0 !n)
+
+let get t i = if i < Array.length t.c then t.c.(i) else 0
+
+let grow t n =
+  if n > Array.length t.c then begin
+    let c = Array.make (max n (2 * Array.length t.c)) 0 in
+    Array.blit t.c 0 c 0 (Array.length t.c);
+    t.c <- c
+  end
+
+let set t i v =
+  grow t (i + 1);
+  t.c.(i) <- v
+
+let incr t i = set t i (get t i + 1)
+
+let copy t = { c = Array.copy t.c }
+
+let join ~into other =
+  grow into (Array.length other.c);
+  Array.iteri (fun i v -> if v > into.c.(i) then into.c.(i) <- v) other.c
+
+let leq a b =
+  let ok = ref true in
+  Array.iteri (fun i v -> if v > get b i then ok := false) a.c;
+  !ok
+
+let compare_po a b =
+  match (leq a b, leq b a) with
+  | true, true -> `Equal
+  | true, false -> `Less
+  | false, true -> `Greater
+  | false, false -> `Concurrent
+
+(* --- Epochs ------------------------------------------------------------ *)
+
+type epoch = int
+
+let tid_bits = 16
+let tid_mask = (1 lsl tid_bits) - 1
+let none = 0
+let is_none e = e = 0
+
+let epoch ~tid ~clock =
+  if tid < 0 || tid > tid_mask then invalid_arg "Vclock.epoch: tid out of range";
+  if clock < 1 then invalid_arg "Vclock.epoch: clock must be >= 1";
+  (clock lsl tid_bits) lor tid
+
+let epoch_of t tid = epoch ~tid ~clock:(max 1 (get t tid))
+let epoch_tid e = e land tid_mask
+let epoch_clock e = e lsr tid_bits
+let epoch_leq e c = is_none e || epoch_clock e <= get c (epoch_tid e)

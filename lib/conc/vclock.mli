@@ -1,0 +1,58 @@
+(** Vector clocks and epochs for happens-before reasoning (the FastTrack
+    representation: a full clock per thread/lock, a compact
+    [tid@clock] epoch for the common last-access case).
+
+    Clocks grow on demand, so the thread-id universe need not be known
+    up front.  A component that was never written reads as [0]. *)
+
+type t
+(** A mutable vector clock. *)
+
+val create : unit -> t
+(** The zero clock. *)
+
+val of_list : int list -> t
+(** [of_list [c0; c1; ...]] — component [i] of the result is [ci]
+    (tests and property generators). *)
+
+val to_list : t -> int list
+(** Components up to the highest nonzero one (trailing zeros dropped). *)
+
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+
+val incr : t -> int -> unit
+(** Bump one component (a thread ticking its own clock). *)
+
+val copy : t -> t
+
+val join : into:t -> t -> unit
+(** Pointwise maximum, accumulated into [into]. *)
+
+val leq : t -> t -> bool
+(** Pointwise [<=]: the happens-before partial order. *)
+
+val compare_po : t -> t -> [ `Equal | `Less | `Greater | `Concurrent ]
+
+(** {1 Epochs} *)
+
+type epoch = private int
+(** [tid@clock] packed in one int; the whole-vector comparison
+    [epoch_leq] is O(1) against it.  [none] (no access yet) is the
+    zero value and is below everything. *)
+
+val none : epoch
+val epoch : tid:int -> clock:int -> epoch
+(** Requires [0 <= tid < 65536] and [clock >= 1] (a thread's own
+    component starts at 1, so a real access is never [none]). *)
+
+val epoch_of : t -> int -> epoch
+(** [epoch_of c tid] is [tid] at its current clock in [c]. *)
+
+val epoch_tid : epoch -> int
+val epoch_clock : epoch -> int
+val epoch_leq : epoch -> t -> bool
+(** [epoch_leq e c]: the access stamped [e] happens-before a thread
+    whose clock is [c] (true for [none]). *)
+
+val is_none : epoch -> bool

@@ -9,7 +9,12 @@
     strictly above the current leader's, so effort concentrates on the
     candidates that are still statistically in contention.  Provided both
     as a related-work reproduction and as the final-selection utility an
-    autotuner needs once a model has produced a shortlist. *)
+    autotuner needs once a model has produced a shortlist.
+
+    Naming note: "race" here means {e profile racing} (candidates racing
+    to be fastest), not data races.  Data-{e race} detection for the
+    execution engine lives in [Altune_conc.Racecheck] and is driven by
+    [altune concheck]. *)
 
 type settings = {
   level : float;  (** Confidence level of the elimination test (0.95). *)

@@ -2,10 +2,15 @@ module Metrics = Altune_obs.Metrics
 
 type 'v state = In_progress | Ready of 'v
 
+(* Synchronization goes through [Sync] (real primitives in production,
+   the model-checking scheduler under [Altune_conc]); [tbl_loc] names
+   the table to the race checker as a single cell, which is exactly the
+   protocol: every touch of [tbl] must hold [lock]. *)
 type ('k, 'v) t = {
-  lock : Mutex.t;
-  done_cond : Condition.t;  (* a computation published or was dropped *)
+  lock : Sync.mutex;
+  done_cond : Sync.cond;  (* a computation published or was dropped *)
   tbl : ('k, 'v state) Hashtbl.t;
+  tbl_loc : Sync.loc;
   hits : Metrics.counter;
   misses : Metrics.counter;
   waits : Metrics.counter;
@@ -13,61 +18,68 @@ type ('k, 'v) t = {
 
 let create ?(size = 64) ?(name = "memo") () =
   {
-    lock = Mutex.create ();
-    done_cond = Condition.create ();
+    lock = Sync.mutex ();
+    done_cond = Sync.cond ();
     tbl = Hashtbl.create size;
+    tbl_loc = Sync.loc (name ^ ".tbl");
     hits = Metrics.counter (name ^ ".hits");
     misses = Metrics.counter (name ^ ".misses");
     waits = Metrics.counter (name ^ ".waits");
   }
 
 let find_or_compute t k compute =
-  Mutex.lock t.lock;
+  Sync.lock t.lock;
   let rec acquire ~waited =
+    Sync.read t.tbl_loc ~site:"memo.find_or_compute: lookup";
     match Hashtbl.find_opt t.tbl k with
     | Some (Ready v) ->
-        Mutex.unlock t.lock;
+        Sync.unlock t.lock;
         Metrics.incr t.hits;
         v
     | Some In_progress ->
         if not waited then Metrics.incr t.waits;
-        Condition.wait t.done_cond t.lock;
+        Sync.wait t.done_cond t.lock;
         acquire ~waited:true
     | None -> (
+        Sync.write t.tbl_loc ~site:"memo.find_or_compute: claim in-progress";
         Hashtbl.replace t.tbl k In_progress;
-        Mutex.unlock t.lock;
+        Sync.unlock t.lock;
         Metrics.incr t.misses;
         match compute () with
         | v ->
-            Mutex.lock t.lock;
+            Sync.lock t.lock;
+            Sync.write t.tbl_loc ~site:"memo.find_or_compute: publish";
             Hashtbl.replace t.tbl k (Ready v);
-            Condition.broadcast t.done_cond;
-            Mutex.unlock t.lock;
+            Sync.broadcast t.done_cond;
+            Sync.unlock t.lock;
             v
         | exception e ->
             let bt = Printexc.get_raw_backtrace () in
-            Mutex.lock t.lock;
+            Sync.lock t.lock;
+            Sync.write t.tbl_loc ~site:"memo.find_or_compute: drop failed";
             Hashtbl.remove t.tbl k;
-            Condition.broadcast t.done_cond;
-            Mutex.unlock t.lock;
+            Sync.broadcast t.done_cond;
+            Sync.unlock t.lock;
             Printexc.raise_with_backtrace e bt)
   in
   acquire ~waited:false
 
 let find_opt t k =
-  Mutex.lock t.lock;
+  Sync.lock t.lock;
+  Sync.read t.tbl_loc ~site:"memo.find_opt: lookup";
   let r =
     match Hashtbl.find_opt t.tbl k with
     | Some (Ready v) -> Some v
     | Some In_progress | None -> None
   in
-  Mutex.unlock t.lock;
+  Sync.unlock t.lock;
   r
 
 let mem t k = Option.is_some (find_opt t k)
 
 let clear t =
-  Mutex.lock t.lock;
+  Sync.lock t.lock;
+  Sync.write t.tbl_loc ~site:"memo.clear";
   (* Keep in-flight markers: their computers will publish under this same
      lock and any current waiters still expect the value to appear. *)
   let in_flight =
@@ -77,14 +89,15 @@ let clear t =
   in
   Hashtbl.reset t.tbl;
   List.iter (fun k -> Hashtbl.replace t.tbl k In_progress) in_flight;
-  Mutex.unlock t.lock
+  Sync.unlock t.lock
 
 let length t =
-  Mutex.lock t.lock;
+  Sync.lock t.lock;
+  Sync.read t.tbl_loc ~site:"memo.length";
   let n =
     Hashtbl.fold
       (fun _ s acc -> match s with Ready _ -> acc + 1 | In_progress -> acc)
       t.tbl 0
   in
-  Mutex.unlock t.lock;
+  Sync.unlock t.lock;
   n

@@ -8,8 +8,9 @@ type event =
 (* A batch is one map call; tasks carry their batch so that a helper
    draining the queue can complete tasks of any in-flight batch.
    [enqueued_ns]/[submitter] feed the queue-wait histogram and the
-   helping-scheduler steal counter. *)
-type batch = { mutable remaining : int }
+   helping-scheduler steal counter.  [b_loc] names the [remaining]
+   counter to the race checker (each batch is its own cell). *)
+type batch = { mutable remaining : int; b_loc : Sync.loc }
 
 type task = {
   batch : batch;
@@ -24,16 +25,23 @@ let m_steals = lazy (Metrics.counter "pool.steals")
 let m_wait = lazy (Metrics.histogram "pool.queue_wait_seconds")
 let m_run = lazy (Metrics.histogram "pool.task_seconds")
 
+(* All synchronization and shared-access instrumentation goes through
+   [Sync]: real primitives in production (byte-identical behaviour), the
+   model-checking scheduler under [Altune_conc].  [q_loc]/[stop_loc]
+   name the queue and the stop flag to the race checker; both are
+   protected by [lock], which the checker verifies rather than trusts. *)
 type t = {
   n_jobs : int;
-  lock : Mutex.t;
-  work : Condition.t;
+  lock : Sync.mutex;
+  work : Sync.cond;
       (* Signalled when tasks are pushed, a batch drains, or on stop. *)
   queue : task Queue.t;
+  q_loc : Sync.loc;
   mutable stop : bool;
-  mutable domains : unit Domain.t array;
+  stop_loc : Sync.loc;
+  mutable domains : Sync.handle array;
   on_event : (event -> unit) option;
-  event_lock : Mutex.t;
+  event_lock : Sync.mutex;
 }
 
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
@@ -42,28 +50,32 @@ let jobs t = t.n_jobs
 (* Run one queued task.  Called with [t.lock] held; returns with it held.
    [task.run] never raises (map wraps it). *)
 let step t task =
-  Mutex.unlock t.lock;
+  Sync.unlock t.lock;
   Metrics.observe (Lazy.force m_wait)
     (Int64.to_float (Int64.sub (Trace.now_ns ()) task.enqueued_ns) /. 1e9);
-  if (Domain.self () :> int) <> task.submitter then
+  if Sync.self_id () <> task.submitter then
     Metrics.incr (Lazy.force m_steals);
   task.run ();
-  Mutex.lock t.lock;
+  Sync.lock t.lock;
+  Sync.write task.batch.b_loc ~site:"pool.step: remaining decrement";
   task.batch.remaining <- task.batch.remaining - 1;
-  if task.batch.remaining = 0 then Condition.broadcast t.work
+  if task.batch.remaining = 0 then Sync.broadcast t.work
 
 let worker t =
-  Mutex.lock t.lock;
+  Sync.lock t.lock;
   let rec loop () =
-    if t.stop then Mutex.unlock t.lock
-    else
+    Sync.read t.stop_loc ~site:"pool.worker: stop check";
+    if t.stop then Sync.unlock t.lock
+    else begin
+      Sync.write t.q_loc ~site:"pool.worker: queue take";
       match Queue.take_opt t.queue with
       | Some task ->
           step t task;
           loop ()
       | None ->
-          Condition.wait t.work t.lock;
+          Sync.wait t.work t.lock;
           loop ()
+    end
   in
   loop ()
 
@@ -72,26 +84,29 @@ let create ?on_event ~jobs () =
   let t =
     {
       n_jobs = jobs;
-      lock = Mutex.create ();
-      work = Condition.create ();
+      lock = Sync.mutex ();
+      work = Sync.cond ();
       queue = Queue.create ();
+      q_loc = Sync.loc "pool.queue";
       stop = false;
+      stop_loc = Sync.loc "pool.stop";
       domains = [||];
       on_event;
-      event_lock = Mutex.create ();
+      event_lock = Sync.mutex ();
     }
   in
-  t.domains <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t.domains <- Array.init (jobs - 1) (fun _ -> Sync.spawn (fun () -> worker t));
   t
 
 let shutdown t =
-  Mutex.lock t.lock;
+  Sync.lock t.lock;
+  Sync.write t.stop_loc ~site:"pool.shutdown: stop set";
   t.stop <- true;
-  Condition.broadcast t.work;
-  Mutex.unlock t.lock;
+  Sync.broadcast t.work;
+  Sync.unlock t.lock;
   let domains = t.domains in
   t.domains <- [||];
-  Array.iter Domain.join domains
+  Array.iter Sync.join domains
 
 let with_pool ?on_event ~jobs f =
   let t = create ?on_event ~jobs () in
@@ -103,38 +118,51 @@ let with_pool ?on_event ~jobs f =
 let run_batch t thunks =
   let n = Array.length thunks in
   if n > 0 then begin
-    let batch = { remaining = n } in
+    let batch = { remaining = n; b_loc = Sync.loc "pool.batch.remaining" } in
+    Sync.write batch.b_loc ~site:"pool.run_batch: batch created";
     let enqueued_ns = Trace.now_ns () in
-    let submitter = (Domain.self () :> int) in
-    Mutex.lock t.lock;
+    let submitter = Sync.self_id () in
+    Sync.lock t.lock;
+    Sync.write t.q_loc ~site:"pool.run_batch: enqueue";
     Array.iter
       (fun run -> Queue.add { batch; run; enqueued_ns; submitter } t.queue)
       thunks;
-    Condition.broadcast t.work;
+    Sync.broadcast t.work;
     let rec help () =
+      Sync.read batch.b_loc ~site:"pool.run_batch: drain check";
       if batch.remaining > 0 then begin
+        Sync.write t.q_loc ~site:"pool.run_batch: help take";
         (match Queue.take_opt t.queue with
         | Some task -> step t task
-        | None -> Condition.wait t.work t.lock);
+        | None -> Sync.wait t.work t.lock);
         help ()
       end
     in
     help ();
-    Mutex.unlock t.lock
+    Sync.unlock t.lock
   end
 
 let emit t ev =
   match t.on_event with
   | None -> ()
   | Some f ->
-      Mutex.lock t.event_lock;
-      Fun.protect ~finally:(fun () -> Mutex.unlock t.event_lock) (fun () -> f ev)
+      Sync.lock t.event_lock;
+      Fun.protect ~finally:(fun () -> Sync.unlock t.event_lock) (fun () -> f ev)
 
 let mapi ?label t f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
   let results = Array.make n None in
   let errors = Array.make n None in
+  (* One race-checker cell per result slot: slot [i] is written by
+     whichever domain runs task [i] and read back by the submitter after
+     the drain — distinct slots must not be conflated into one cell or
+     unrelated tasks would look racy. *)
+  let slot_locs =
+    if Sync.virtual_mode () then
+      Array.init n (fun i -> Sync.loc (Printf.sprintf "pool.mapi.slot[%d]" i))
+    else Array.make n (-1)
+  in
   let label i =
     match label with Some l -> l i | None -> Printf.sprintf "task %d" i
   in
@@ -159,24 +187,30 @@ let mapi ?label t f xs =
           emit t (Task_finished { index = i; label = lbl; wall_seconds });
           v
         with
-        | v -> results.(i) <- Some v
+        | v ->
+            Sync.write slot_locs.(i) ~site:"pool.mapi: result store";
+            results.(i) <- Some v
         | exception e ->
             (* Capture the backtrace before anything else can run: a later
                re-raise (e.g. of a nested fan-out's failure, surfaced here
                on whichever domain helped drain the inner batch) must carry
                the original raise site, not the helper's frames. *)
             let bt = Printexc.get_raw_backtrace () in
+            Sync.write slot_locs.(i) ~site:"pool.mapi: error store";
             errors.(i) <- Some (e, bt))
   in
   run_batch t thunks;
   (* The batch has fully drained: re-raise the first failure by task
      index, so the surfaced error is schedule-independent too. *)
-  Array.iter
-    (function
+  Array.iteri
+    (fun i err ->
+      Sync.read slot_locs.(i) ~site:"pool.mapi: error read-back";
+      match err with
       | Some (e, bt) -> Printexc.raise_with_backtrace e bt
       | None -> ())
     errors;
   List.init n (fun i ->
+      Sync.read slot_locs.(i) ~site:"pool.mapi: result read-back";
       match results.(i) with
       | Some v -> v
       | None ->

@@ -6,6 +6,7 @@ type record = {
   host : string option;
   cores : int option;
   git_rev : string option;
+  rate : float option;
 }
 
 type delta = {
@@ -15,6 +16,8 @@ type delta = {
   baseline_s : float;
   current_s : float;
   delta_pct : float;
+  baseline_rate : float option;
+  current_rate : float option;
 }
 
 type diff = {
@@ -40,7 +43,19 @@ let record_of_json j =
       in
       let host = if null_manifest then None else str "host" in
       let cores = if null_manifest then None else int "cores" in
-      Ok { section; scale; jobs; seconds; host; cores; git_rev = str "git_rev" }
+      Ok
+        {
+          section;
+          scale;
+          jobs;
+          seconds;
+          host;
+          cores;
+          git_rev = str "git_rev";
+          (* Throughput-style records (concheck's schedules/sec) carry a
+             rate alongside their wall time; plain timing records don't. *)
+          rate = float "schedules_per_sec";
+        }
   | _ -> Error "bench record: missing section/scale/jobs/seconds"
 
 let of_json = function
@@ -122,6 +137,8 @@ let diff ~baseline ~current =
                     baseline_s = b.seconds;
                     current_s = r.seconds;
                     delta_pct;
+                    baseline_rate = b.rate;
+                    current_rate = r.rate;
                   }
                   :: deltas,
                   unmatched )
@@ -147,9 +164,14 @@ let render ?max_regress d =
         | Some m when dl.delta_pct > m -> "  REGRESSION"
         | _ -> ""
       in
+      let rate =
+        match (dl.baseline_rate, dl.current_rate) with
+        | Some b, Some c -> Printf.sprintf "  (%.0f -> %.0f sched/s)" b c
+        | _ -> ""
+      in
       Buffer.add_string buf
-        (Printf.sprintf "%-10s %-9s %4d %12.3f %12.3f %+8.1f%%%s\n" dl.section
-           dl.scale dl.jobs dl.baseline_s dl.current_s dl.delta_pct flag))
+        (Printf.sprintf "%-10s %-9s %4d %12.3f %12.3f %+8.1f%%%s%s\n" dl.section
+           dl.scale dl.jobs dl.baseline_s dl.current_s dl.delta_pct flag rate))
     d.deltas;
   if d.deltas = [] then
     Buffer.add_string buf "(no comparable sections: manifests differ)\n";

@@ -21,6 +21,11 @@ type record = {
   host : string option;  (** [None]: not comparable (no manifest). *)
   cores : int option;
   git_rev : string option;
+  rate : float option;
+      (** Throughput records ([concheck]'s [schedules_per_sec]); [None]
+          for plain timing records.  Purely informational — matching and
+          regression gating stay seconds-based, so mixing concheck
+          records into a bench file never breaks the baseline diff. *)
 }
 
 type delta = {
@@ -30,6 +35,8 @@ type delta = {
   baseline_s : float;
   current_s : float;
   delta_pct : float;  (** [(current - baseline) / baseline * 100]. *)
+  baseline_rate : float option;
+  current_rate : float option;
 }
 
 type diff = {

@@ -396,6 +396,7 @@ let record ?host ?cores ~section ~jobs seconds =
     host;
     cores;
     git_rev = None;
+    rate = None;
   }
 
 let test_bench_diff_regression () =
