@@ -13,8 +13,12 @@
    --events FILE to record the learner decision stream (render with
    `altune report`), --metrics to dump the metrics registry to stderr
    at exit, or a subset
-   of section names (table1 table2 fig1 fig2 fig5 fig6 ablation micro)
-   to run only those.  Per-section wall times are appended to
+   of section names (table1 table2 fig1 fig2 fig5 fig6 ablation serve
+   micro) to run only those.  The serve section drives --serve-load N
+   (default 200) synthetic tuning sessions with overlapping config
+   demand through the in-process tuning server, recording sessions/sec
+   and the cross-session memo hit rate.  Per-section wall times are
+   appended to
    BENCH_harness.json, stamped with the run manifest (host, cores, git
    rev, ...) so the performance trajectory stays interpretable across
    machines and commits. *)
@@ -30,6 +34,11 @@ module Events = Altune_obs.Events
 
 (* (section id, wall seconds) of every section run, for BENCH_harness.json. *)
 let timings : (string * float) list ref = ref []
+
+(* Fully-formed extra records appended by sections that measure more
+   than wall time (the serve section's throughput record), in the same
+   one-"  {...}"-line format as the timing records. *)
+let extra_records : string list ref = ref []
 
 let section id name f =
   Printf.printf "==============================================================\n";
@@ -83,10 +92,126 @@ let write_harness_json ~path ~scale ~jobs ~(manifest : Manifest.t) =
           manifest.ocaml_version manifest.seed)
       !timings
   in
-  let records = existing @ fresh in
+  let records = existing @ fresh @ List.rev !extra_records in
   let oc = open_out path in
   Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" records);
   close_out oc
+
+(* --- Tuning-service load generator --------------------------------- *)
+
+(* Drive [sessions] synthetic tuning sessions through the in-process
+   server API: smoke-scale adaptive runs capped at 16 iterations, spread
+   over all 11 kernels x a few seeds so many sessions demand the same
+   (kernel, config) evaluations — the overlap the shared cross-session
+   memo exists to exploit.  All sessions are opened up front (most of
+   them queue under admission control), then tick requests step every
+   live session in parallel until the whole fleet has completed.  The
+   returned summary is deterministic (simulated quantities only); the
+   wall-derived sessions/sec rate goes into the harness record. *)
+let run_serve_load ~manifest ~scale_label ~jobs ~sessions =
+  let module Server = Altune_serve.Server in
+  let module P = Altune_serve.Protocol in
+  let benches = Array.of_list Altune_spapt.Kernels.names in
+  let seeds = [| 42; 43; 44 |] in
+  let n_benches = Array.length benches in
+  let n_seeds = Array.length seeds in
+  let max_live = 16 in
+  let tick_iterations = 6 in
+  let n_max = 16 in
+  let server =
+    Server.create
+      {
+        Server.jobs;
+        max_live;
+        max_queue = sessions;
+        budget_cap = None;
+        checkpoint_dir = None;
+      }
+  in
+  let request req =
+    match Server.handle server req with
+    | Ok reply -> reply
+    | Error e -> failwith ("serve load: " ^ e)
+  in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to sessions - 1 do
+    ignore
+      (request
+         (P.Open
+            {
+              P.o_session = Printf.sprintf "s%04d" i;
+              o_bench = benches.(i mod n_benches);
+              o_scale = "smoke";
+              o_seed = seeds.(i / n_benches mod n_seeds);
+              o_fault = None;
+              o_budget = None;
+              o_n_max = Some n_max;
+              o_checkpoint = None;
+            }))
+  done;
+  let ticks = ref 0 in
+  let rec drive () =
+    let stats =
+      match request P.Stats with
+      | P.R_stats s -> s
+      | _ -> failwith "serve load: unexpected stats reply"
+    in
+    if stats.P.s_done >= sessions then stats
+    else if !ticks > (4 * sessions) + 16 then
+      failwith "serve load: fleet did not converge"
+    else begin
+      incr ticks;
+      ignore (request (P.Tick { iterations = tick_iterations }));
+      drive ()
+    end
+  in
+  let stats = drive () in
+  let seconds = Unix.gettimeofday () -. t0 in
+  ignore (request P.Shutdown);
+  let memo = stats.P.s_memo in
+  (* The whole point of multi-tenancy is shared evaluations: a load with
+     overlapping workloads but zero cross-session hits means the shared
+     memo is broken, so fail loudly rather than record it. *)
+  if memo.P.m_cross_hits = 0 then
+    failwith "serve load: no cross-session memo sharing observed";
+  let pct part whole =
+    if whole = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole
+  in
+  let rate =
+    if seconds > 0.0 then float_of_int sessions /. seconds else 0.0
+  in
+  let m : Manifest.t = manifest in
+  extra_records :=
+    Printf.sprintf
+      "  {\"section\": \"serve\", \"scale\": %S, \"jobs\": %d, \"seconds\": \
+       %.3f, \"host\": %S, \"cores\": %d, \"git_rev\": %S, \"ocaml\": %S, \
+       \"seed\": %d, \"sessions\": %d, \"sessions_per_sec\": %.2f, \
+       \"memo_lookups\": %d, \"memo_entries\": %d, \"memo_hits\": %d, \
+       \"memo_shared_keys\": %d, \"memo_cross_hits\": %d, \
+       \"memo_cross_hit_rate\": %.4f}"
+      scale_label jobs seconds m.hostname m.cores m.git_rev m.ocaml_version
+      m.seed sessions rate memo.P.m_lookups memo.P.m_entries memo.P.m_hits
+      memo.P.m_shared_keys memo.P.m_cross_hits
+      (if memo.P.m_lookups = 0 then 0.0
+       else float_of_int memo.P.m_cross_hits /. float_of_int memo.P.m_lookups)
+    :: !extra_records;
+  Printf.sprintf
+    "serve load: %d sessions over %d kernels x %d seeds (%d distinct \
+     workloads)\n\
+     admission : %d live slots, FIFO queue, %d ticks of %d iterations\n\
+     completed : %d done, %d live, %d queued (all sessions ran to their \
+     %d-iteration cap)\n\
+     memo      : %d evaluation lookups, %d distinct configs computed, %d \
+     hits (%.1f%%)\n\
+     sharing   : %d keys touched by 2+ sessions; %d cross-session hits \
+     (%.1f%% of lookups)\n"
+    sessions n_benches n_seeds
+    (min sessions (n_benches * n_seeds))
+    max_live !ticks tick_iterations stats.P.s_done stats.P.s_live
+    stats.P.s_queued n_max memo.P.m_lookups memo.P.m_entries memo.P.m_hits
+    (pct memo.P.m_hits memo.P.m_lookups)
+    memo.P.m_shared_keys memo.P.m_cross_hits
+    (pct memo.P.m_cross_hits memo.P.m_lookups)
 
 (* --- Bechamel micro-benchmarks of the implementation's hot paths --- *)
 
@@ -302,6 +427,20 @@ let () =
     in
     find args
   in
+  let serve_load =
+    let rec find = function
+      | "--serve-load" :: n :: _ -> (
+          match int_of_string_opt n with
+          | Some s when s >= 1 -> s
+          | Some _ | None ->
+              Printf.eprintf "--serve-load needs a positive integer, got %s\n"
+                n;
+              exit 2)
+      | _ :: rest -> find rest
+      | [] -> 200
+    in
+    find args
+  in
   let metrics = List.mem "--metrics" args in
   let progress = List.mem "--progress" args in
   let on_event =
@@ -322,7 +461,7 @@ let () =
         (fun a ->
           List.mem a
             [ "table1"; "table2"; "fig1"; "fig2"; "fig5"; "fig6";
-              "ablation"; "micro" ])
+              "ablation"; "serve"; "micro" ])
         (List.tl args)
     in
     named = [] || List.mem name named
@@ -358,6 +497,13 @@ let () =
     if wanted "ablation" then
       section "ablation" "Ablation (design choices of the adaptive learner)"
         (fun () -> Drivers.ablation ~scale ~seed ());
+    if wanted "serve" then
+      section "serve"
+        (Printf.sprintf
+           "Serve (tuning-as-a-service load: %d multi-tenant sessions)"
+           serve_load) (fun () ->
+          run_serve_load ~manifest ~scale_label:scale.Scale.label ~jobs
+            ~sessions:serve_load);
     if wanted "micro" then
       section "micro" "Micro-benchmarks (Bechamel)" (fun () -> run_micro ())
   in

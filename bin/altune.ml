@@ -23,6 +23,8 @@ module Bench_diff = Altune_obs.Bench_diff
 module Web_report = Altune_report.Web_report
 module Conc_scenarios = Altune_conc.Scenarios
 module Conc_explore = Altune_conc.Explore
+module Serve_server = Altune_serve.Server
+module Serve_daemon = Altune_serve.Daemon
 open Cmdliner
 
 let scale_arg =
@@ -209,35 +211,7 @@ let nobench_cmd name ~doc f =
   in
   Cmd.v (Cmd.info name ~doc) term
 
-let table1_cmd =
-  simple_cmd "table1" ~doc:"Lowest common RMSE, cost, and speed-up (Table 1)."
-    Drivers.table1
-
-let table2_cmd =
-  simple_cmd "table2"
-    ~doc:"Variance and CI/mean spreads across each space (Table 2)."
-    Drivers.table2
-
-let fig1_cmd =
-  nobench_cmd "fig1"
-    ~doc:"MAE and optimal sample count over the mm unroll plane (Figure 1)."
-    Drivers.fig1
-
-let fig2_cmd =
-  nobench_cmd "fig2"
-    ~doc:"adi runtime vs. unroll factor, single samples (Figure 2)."
-    Drivers.fig2
-
-let fig5_cmd =
-  simple_cmd "fig5" ~doc:"Profiling-cost reduction bars (Figure 5)."
-    Drivers.fig5
-
-let fig6_cmd =
-  simple_cmd "fig6"
-    ~doc:"RMSE-vs-cost curves for the three sampling plans (Figure 6)."
-    Drivers.fig6
-
-let ablation_cmd =
+let ablation_cmd name doc =
   let term =
     Term.(
       const (fun scale seed jobs bench fault trace events metrics ->
@@ -250,12 +224,9 @@ let ablation_cmd =
       $ scale_term $ seed_term $ jobs_term $ bench_term ~default:"gemver"
       $ fault_term $ trace_term $ events_term $ metrics_term)
   in
-  Cmd.v
-    (Cmd.info "ablation"
-       ~doc:"Design-choice ablations of the adaptive learner.")
-    term
+  Cmd.v (Cmd.info name ~doc) term
 
-let list_cmd =
+let list_cmd name doc =
   let term =
     Term.(
       const (fun () ->
@@ -269,9 +240,9 @@ let list_cmd =
             Kernels.names)
       $ const ())
   in
-  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and their tunable spaces.") term
+  Cmd.v (Cmd.info name ~doc) term
 
-let show_cmd =
+let show_cmd name doc =
   let config_term =
     Arg.(
       value
@@ -301,12 +272,9 @@ let show_cmd =
           print_string (Pretty.to_string kernel))
       $ bench_term ~default:"mm" $ config_term $ raw_term)
   in
-  Cmd.v
-    (Cmd.info "show"
-       ~doc:"Print a benchmark kernel, optionally after transformations.")
-    term
+  Cmd.v (Cmd.info name ~doc) term
 
-let check_cmd =
+let check_cmd name doc =
   let samples_term =
     Arg.(
       value & opt int 3
@@ -373,15 +341,9 @@ let check_cmd =
                sound")
       $ seed_term $ benchmarks_term $ samples_term)
   in
-  Cmd.v
-    (Cmd.info "check"
-       ~doc:
-         "Lint every benchmark kernel and audit a sample of its \
-          transformation space for soundness (legality, dependence \
-          re-analysis, access counts, differential execution).")
-    term
+  Cmd.v (Cmd.info name ~doc) term
 
-let trace_summary_cmd =
+let trace_summary_cmd name doc =
   let file_term =
     Arg.(
       required
@@ -421,16 +383,9 @@ let trace_summary_cmd =
                       Stdlib.exit 1)))
       $ file_term $ max_share_term)
   in
-  Cmd.v
-    (Cmd.info "trace-summary"
-       ~doc:
-         "Aggregate a JSONL trace into a per-phase time breakdown \
-          (candidate generation, ALC scoring, tree updates, simulated \
-          profiling, dataset generation), attributing each span's \
-          self-time, with an optional per-phase share bound for CI.")
-    term
+  Cmd.v (Cmd.info name ~doc) term
 
-let report_cmd =
+let report_cmd name doc =
   let files_term =
     Arg.(
       non_empty
@@ -479,16 +434,9 @@ let report_cmd =
                 | Some path -> Printf.sprintf "; CSV in %s" path))
       $ files_term $ out_term $ csv_term)
   in
-  Cmd.v
-    (Cmd.info "report"
-       ~doc:
-         "Render event streams, traces and bench timings into one \
-          self-contained HTML report with inline SVG charts \
-          (error-vs-cost, variance decay, revisit fraction, sensitivity \
-          bars) — no external assets.")
-    term
+  Cmd.v (Cmd.info name ~doc) term
 
-let bench_diff_cmd =
+let bench_diff_cmd name doc =
   let baseline_term =
     Arg.(
       required
@@ -538,14 +486,7 @@ let bench_diff_cmd =
               Stdlib.exit 1)
       $ baseline_term $ current_term $ max_regress_term)
   in
-  Cmd.v
-    (Cmd.info "bench-diff"
-       ~doc:
-         "Compare two BENCH_harness.json files and fail on timing \
-          regressions.  Only records whose manifest matches (same host, \
-          cores, scale and job count) are compared; anything else — other \
-          machines, pre-manifest history — is skipped, never guessed at.")
-    term
+  Cmd.v (Cmd.info name ~doc) term
 
 (* The run key tune stamps on its event stream; resume reuses it so the
    resumed stream is a continuation of the interrupted one. *)
@@ -590,7 +531,7 @@ let report_tuned b (outcome : Learner.outcome) ~seed =
     (Spapt.true_runtime b best.best)
     (sampled.evaluations + climbed.evaluations)
 
-let tune_cmd =
+let tune_cmd name doc =
   let ckpt_term =
     Arg.(
       value
@@ -681,14 +622,9 @@ let tune_cmd =
       $ ckpt_term $ every_term $ halt_term $ trace_term $ events_term
       $ metrics_term)
   in
-  Cmd.v
-    (Cmd.info "tune"
-       ~doc:
-         "Train an adaptive model on a benchmark and report the best \
-          configuration it finds.")
-    term
+  Cmd.v (Cmd.info name ~doc) term
 
-let resume_cmd =
+let resume_cmd name doc =
   let ckpt_term =
     Arg.(
       required
@@ -745,14 +681,7 @@ let resume_cmd =
               report_tuned b outcome ~seed:meta.seed)
       $ ckpt_term $ trace_term $ events_term $ metrics_term)
   in
-  Cmd.v
-    (Cmd.info "resume"
-       ~doc:
-         "Continue an interrupted $(b,altune tune) run from its checkpoint \
-          file.  The resumed run reproduces the uninterrupted run's output \
-          byte-for-byte (same model, same best configuration, same \
-          remaining event stream).")
-    term
+  Cmd.v (Cmd.info name ~doc) term
 
 (* Append one throughput record to a BENCH_harness.json-format file,
    preserving existing records (same line protocol as bench/main.ml's
@@ -795,7 +724,7 @@ let append_concheck_record ~path ~seed ~schedules ~seconds =
   Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" (existing @ [ fresh ]));
   close_out oc
 
-let concheck_cmd =
+let concheck_cmd name doc =
   let schedules_term =
     Arg.(
       value & opt int 4000
@@ -930,18 +859,196 @@ let concheck_cmd =
       $ schedules_term $ seed_term $ scenario_term $ min_distinct_term
       $ report_term $ bench_out_term $ list_term)
   in
-  Cmd.v
-    (Cmd.info "concheck"
-       ~doc:
-         "Model-check the execution engine's concurrency: run bounded \
-          pool/memo/fault scenarios under many deterministically-seeded \
-          thread interleavings (cooperative scheduler over the Sync shim), \
-          detect data races with FastTrack-style vector clocks (reporting \
-          both access sites), detect deadlocks and lost wakeups, and \
-          assert that everything the engine promises is schedule-invariant \
-          actually is.  Deliberately-broken fixtures validate the detector \
-          itself.  Exit 1 on any violation.")
-    term
+  Cmd.v (Cmd.info name ~doc) term
+
+let serve_cmd name doc =
+  let socket_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix domain socket at $(docv) (one client \
+             connection at a time; sessions persist across connections).  \
+             Default without $(b,--socket) or $(b,--script): serve \
+             stdin/stdout.")
+  in
+  let script_term =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:
+            "Read request lines from $(docv) instead of a live transport, \
+             writing one response line per request to stdout — a \
+             deterministic transcript: same script, same bytes, at any \
+             $(b,--jobs) count.")
+  in
+  let serve_jobs_term =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Domains in the server's pool; $(b,tick) requests step all \
+             live sessions in parallel across them.  Responses are \
+             byte-identical at any job count.")
+  in
+  let max_live_term =
+    Arg.(
+      value & opt int Serve_server.default_config.Serve_server.max_live
+      & info [ "max-live" ] ~docv:"N"
+          ~doc:"Admission control: sessions allowed to run concurrently.")
+  in
+  let max_queue_term =
+    Arg.(
+      value & opt int Serve_server.default_config.Serve_server.max_queue
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission control: sessions held in the FIFO queue beyond \
+             the live ones before opens are rejected.")
+  in
+  let budget_cap_term =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget-cap" ] ~docv:"SECONDS"
+          ~doc:
+            "Reject sessions whose requested simulated-cost budget \
+             exceeds $(docv) (and require every session to declare one).")
+  in
+  let ckpt_dir_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:
+            "Where graceful shutdown (SIGINT/SIGTERM or a $(b,shutdown) \
+             request) checkpoints live sessions opened without an \
+             explicit checkpoint path; resume them with $(b,altune \
+             resume).")
+  in
+  let term =
+    Term.(
+      const (fun socket script jobs max_live max_queue budget_cap
+                 checkpoint_dir trace events metrics ->
+          if jobs < 1 then begin
+            Printf.eprintf "--jobs must be at least 1\n";
+            Stdlib.exit 2
+          end;
+          if max_live < 1 then begin
+            Printf.eprintf "--max-live must be at least 1\n";
+            Stdlib.exit 2
+          end;
+          let config =
+            {
+              Serve_server.jobs;
+              max_live;
+              max_queue = max 0 max_queue;
+              budget_cap;
+              checkpoint_dir;
+            }
+          in
+          with_obs ~command:"serve" ~trace ~events ~metrics
+            ~scale_label:"serve" ~seed:0
+          @@ fun () ->
+          let server = Serve_server.create config in
+          match script with
+          | Some path -> Serve_daemon.serve_script server ~path ~output:stdout
+          | None -> (
+              let stop = Serve_daemon.make_stop () in
+              Serve_daemon.install_signal_handlers stop;
+              match socket with
+              | Some path ->
+                  Printf.eprintf "serve: listening on %s\n%!" path;
+                  Serve_daemon.serve_socket ~stop server ~path
+              | None -> Serve_daemon.serve_stdio ~stop server))
+      $ socket_term $ script_term $ serve_jobs_term $ max_live_term
+      $ max_queue_term $ budget_cap_term $ ckpt_dir_term $ trace_term
+      $ events_term $ metrics_term)
+  in
+  Cmd.v (Cmd.info name ~doc) term
+
+(* The single subcommand roster.  Every command's name and one-line
+   summary live in this table and nowhere else — the command group (and
+   with it --help's COMMANDS section and the unknown-command error's
+   suggestion list) is generated from it, so the rosters cannot drift
+   apart again. *)
+let command_table =
+  [
+    ( "table1",
+      "Lowest common RMSE, cost, and speed-up (Table 1).",
+      fun name doc -> simple_cmd name ~doc Drivers.table1 );
+    ( "table2",
+      "Variance and CI/mean spreads across each space (Table 2).",
+      fun name doc -> simple_cmd name ~doc Drivers.table2 );
+    ( "fig1",
+      "MAE and optimal sample count over the mm unroll plane (Figure 1).",
+      fun name doc -> nobench_cmd name ~doc Drivers.fig1 );
+    ( "fig2",
+      "adi runtime vs. unroll factor, single samples (Figure 2).",
+      fun name doc -> nobench_cmd name ~doc Drivers.fig2 );
+    ( "fig5",
+      "Profiling-cost reduction bars (Figure 5).",
+      fun name doc -> simple_cmd name ~doc Drivers.fig5 );
+    ( "fig6",
+      "RMSE-vs-cost curves for the three sampling plans (Figure 6).",
+      fun name doc -> simple_cmd name ~doc Drivers.fig6 );
+    ("ablation", "Design-choice ablations of the adaptive learner.",
+     ablation_cmd);
+    ("list", "List benchmarks and their tunable spaces.", list_cmd);
+    ( "show",
+      "Print a benchmark kernel, optionally after transformations.",
+      show_cmd );
+    ( "check",
+      "Lint every benchmark kernel and audit a sample of its \
+       transformation space for soundness (legality, dependence \
+       re-analysis, access counts, differential execution).",
+      check_cmd );
+    ( "tune",
+      "Train an adaptive model on a benchmark and report the best \
+       configuration it finds.",
+      tune_cmd );
+    ( "resume",
+      "Continue an interrupted altune tune run (or a checkpointed serve \
+       session) from its checkpoint file, reproducing the uninterrupted \
+       run's output byte-for-byte.",
+      resume_cmd );
+    ( "serve",
+      "Run the multi-tenant tuning service: named resumable sessions \
+       over newline-delimited JSON (stdin/stdout, a Unix socket, or a \
+       request script), multiplexed onto one pool with a shared \
+       cross-session memo so identical configurations are profiled once \
+       process-wide.",
+      serve_cmd );
+    ( "trace-summary",
+      "Aggregate a JSONL trace into a per-phase time breakdown \
+       (candidate generation, ALC scoring, tree updates, simulated \
+       profiling, dataset generation), attributing each span's \
+       self-time, with an optional per-phase share bound for CI.",
+      trace_summary_cmd );
+    ( "report",
+      "Render event streams, traces and bench timings into one \
+       self-contained HTML report with inline SVG charts \
+       (error-vs-cost, variance decay, revisit fraction, sensitivity \
+       bars) — no external assets.",
+      report_cmd );
+    ( "bench-diff",
+      "Compare two BENCH_harness.json files and fail on timing \
+       regressions.  Only records whose manifest matches (same host, \
+       cores, scale and job count) are compared; anything else — other \
+       machines, pre-manifest history — is skipped, never guessed at.",
+      bench_diff_cmd );
+    ( "concheck",
+      "Model-check the execution engine's concurrency: run bounded \
+       pool/memo/fault scenarios under many deterministically-seeded \
+       thread interleavings (cooperative scheduler over the Sync shim), \
+       detect data races with FastTrack-style vector clocks (reporting \
+       both access sites), detect deadlocks and lost wakeups, and \
+       assert that everything the engine promises is schedule-invariant \
+       actually is.  Deliberately-broken fixtures validate the detector \
+       itself.  Exit 1 on any violation.",
+      concheck_cmd );
+  ]
 
 let () =
   let doc =
@@ -952,21 +1059,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [
-            table1_cmd;
-            table2_cmd;
-            fig1_cmd;
-            fig2_cmd;
-            fig5_cmd;
-            fig6_cmd;
-            ablation_cmd;
-            list_cmd;
-            show_cmd;
-            check_cmd;
-            tune_cmd;
-            resume_cmd;
-            trace_summary_cmd;
-            report_cmd;
-            bench_diff_cmd;
-            concheck_cmd;
-          ]))
+          (List.map (fun (name, doc, make) -> make name doc) command_table)))

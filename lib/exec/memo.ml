@@ -27,7 +27,9 @@ let create ?(size = 64) ?(name = "memo") () =
     waits = Metrics.counter (name ^ ".waits");
   }
 
-let find_or_compute t k compute =
+type outcome = Computed | Hit | Waited
+
+let find_or_compute_outcome t k compute =
   Sync.lock t.lock;
   let rec acquire ~waited =
     Sync.read t.tbl_loc ~site:"memo.find_or_compute: lookup";
@@ -35,7 +37,7 @@ let find_or_compute t k compute =
     | Some (Ready v) ->
         Sync.unlock t.lock;
         Metrics.incr t.hits;
-        v
+        (v, if waited then Waited else Hit)
     | Some In_progress ->
         if not waited then Metrics.incr t.waits;
         Sync.wait t.done_cond t.lock;
@@ -52,7 +54,7 @@ let find_or_compute t k compute =
             Hashtbl.replace t.tbl k (Ready v);
             Sync.broadcast t.done_cond;
             Sync.unlock t.lock;
-            v
+            (v, Computed)
         | exception e ->
             let bt = Printexc.get_raw_backtrace () in
             Sync.lock t.lock;
@@ -63,6 +65,8 @@ let find_or_compute t k compute =
             Printexc.raise_with_backtrace e bt)
   in
   acquire ~waited:false
+
+let find_or_compute t k compute = fst (find_or_compute_outcome t k compute)
 
 let find_opt t k =
   Sync.lock t.lock;

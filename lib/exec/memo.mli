@@ -23,6 +23,21 @@ val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
     recursively ask for [k] (that would deadlock by definition of
     compute-once). *)
 
+type outcome =
+  | Computed  (** this caller ran [compute]. *)
+  | Hit  (** the value was already published. *)
+  | Waited  (** blocked on another caller's in-flight computation. *)
+
+val find_or_compute_outcome :
+  ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v * outcome
+(** {!find_or_compute} plus how the value was obtained — the sharing
+    hook consumers (e.g. a multi-tenant server attributing cross-session
+    cache traffic) build their accounting on.  Note the outcome is a
+    property of the {e schedule} (who got there first), so deterministic
+    accounting must aggregate outcomes into schedule-independent
+    quantities (e.g. lookups and distinct keys), not record them
+    per-caller. *)
+
 val find_opt : ('k, 'v) t -> 'k -> 'v option
 (** Completed entries only; [None] for absent or in-flight keys. *)
 

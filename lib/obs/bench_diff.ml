@@ -7,6 +7,7 @@ type record = {
   cores : int option;
   git_rev : string option;
   rate : float option;
+  rate_unit : string option;
 }
 
 type delta = {
@@ -18,6 +19,7 @@ type delta = {
   delta_pct : float;
   baseline_rate : float option;
   current_rate : float option;
+  rate_unit : string option;
 }
 
 type diff = {
@@ -43,6 +45,17 @@ let record_of_json j =
       in
       let host = if null_manifest then None else str "host" in
       let cores = if null_manifest then None else int "cores" in
+      (* Throughput-style records carry a rate alongside their wall time
+         (concheck's schedules/sec, serve's sessions/sec); plain timing
+         records don't. *)
+      let rate, rate_unit =
+        match float "schedules_per_sec" with
+        | Some r -> (Some r, Some "sched/s")
+        | None -> (
+            match float "sessions_per_sec" with
+            | Some r -> (Some r, Some "sess/s")
+            | None -> (None, None))
+      in
       Ok
         {
           section;
@@ -52,9 +65,8 @@ let record_of_json j =
           host;
           cores;
           git_rev = str "git_rev";
-          (* Throughput-style records (concheck's schedules/sec) carry a
-             rate alongside their wall time; plain timing records don't. *)
-          rate = float "schedules_per_sec";
+          rate;
+          rate_unit;
         }
   | _ -> Error "bench record: missing section/scale/jobs/seconds"
 
@@ -139,6 +151,12 @@ let diff ~baseline ~current =
                     delta_pct;
                     baseline_rate = b.rate;
                     current_rate = r.rate;
+                    (* Units come from the current side; a unit change
+                       between files means the section was repurposed
+                       and the rates are incomparable anyway. *)
+                    rate_unit = (match r.rate_unit with
+                      | Some _ as u -> u
+                      | None -> b.rate_unit);
                   }
                   :: deltas,
                   unmatched )
@@ -166,7 +184,9 @@ let render ?max_regress d =
       in
       let rate =
         match (dl.baseline_rate, dl.current_rate) with
-        | Some b, Some c -> Printf.sprintf "  (%.0f -> %.0f sched/s)" b c
+        | Some b, Some c ->
+            Printf.sprintf "  (%.0f -> %.0f %s)" b c
+              (Option.value ~default:"sched/s" dl.rate_unit)
         | _ -> ""
       in
       Buffer.add_string buf

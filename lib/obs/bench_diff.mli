@@ -22,10 +22,13 @@ type record = {
   cores : int option;
   git_rev : string option;
   rate : float option;
-      (** Throughput records ([concheck]'s [schedules_per_sec]); [None]
-          for plain timing records.  Purely informational — matching and
-          regression gating stay seconds-based, so mixing concheck
+      (** Throughput records ([concheck]'s [schedules_per_sec], the
+          serve load generator's [sessions_per_sec]); [None] for plain
+          timing records.  Purely informational — matching and
+          regression gating stay seconds-based, so mixing throughput
           records into a bench file never breaks the baseline diff. *)
+  rate_unit : string option;
+      (** Display unit of [rate]: ["sched/s"] or ["sess/s"]. *)
 }
 
 type delta = {
@@ -37,6 +40,7 @@ type delta = {
   delta_pct : float;  (** [(current - baseline) / baseline * 100]. *)
   baseline_rate : float option;
   current_rate : float option;
+  rate_unit : string option;  (** From the current record when present. *)
 }
 
 type diff = {

@@ -1,0 +1,111 @@
+let make_stop () = Atomic.make false
+
+let install_signal_handlers stop =
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+  (* SIGINT may be unavailable in exotic environments; serve what we can. *)
+  (try Sys.set_signal Sys.sigint handler with Invalid_argument _ | Sys_error _ -> ());
+  try Sys.set_signal Sys.sigterm handler with Invalid_argument _ | Sys_error _ -> ()
+
+let finish server =
+  if not (Server.stopped server) then ignore (Server.graceful_stop server)
+
+let respond server output line =
+  let line = String.trim line in
+  if line <> "" then begin
+    output_string output (Server.handle_line server line);
+    output_char output '\n';
+    flush output
+  end
+
+let serve_channel ?(stop = make_stop ()) server ~input ~output =
+  let rec loop () =
+    if Atomic.get stop || Server.stopped server then ()
+    else
+      match input_line input with
+      | exception End_of_file -> ()
+      | line ->
+          respond server output line;
+          loop ()
+  in
+  loop ();
+  finish server
+
+let serve_script server ~path ~output =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> serve_channel server ~input:ic ~output)
+
+(* Poll-driven line loop over a raw fd, so a pending signal is noticed
+   within [poll] seconds even when no request is in flight (buffered
+   [input_line] would block until the next byte). *)
+let serve_fd ~stop ~poll server fd output =
+  let pending = Queue.create () in
+  let acc = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let eof = ref false in
+  let feed () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> eof := true
+    | n ->
+        for i = 0 to n - 1 do
+          match Bytes.get chunk i with
+          | '\n' ->
+              Queue.add (Buffer.contents acc) pending;
+              Buffer.clear acc
+          | c -> Buffer.add_char acc c
+        done
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  let rec loop () =
+    if Atomic.get stop || Server.stopped server then ()
+    else if not (Queue.is_empty pending) then begin
+      respond server output (Queue.pop pending);
+      loop ()
+    end
+    else if !eof then ()
+    else begin
+      (match Unix.select [ fd ] [] [] poll with
+      | [], _, _ -> ()
+      | _ -> feed ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let serve_stdio ?(stop = make_stop ()) server =
+  serve_fd ~stop ~poll:0.2 server Unix.stdin stdout;
+  finish server
+
+let serve_socket ?(stop = make_stop ()) server ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      finish server)
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let rec accept_loop () =
+        if Atomic.get stop || Server.stopped server then ()
+        else begin
+          (match Unix.select [ sock ] [] [] 0.2 with
+          | [], _, _ -> ()
+          | _ -> (
+              match Unix.accept sock with
+              | client, _ ->
+                  let output = Unix.out_channel_of_descr client in
+                  Fun.protect
+                    ~finally:(fun () ->
+                      (try flush output with Sys_error _ -> ());
+                      try Unix.close client with Unix.Unix_error _ -> ())
+                    (fun () -> serve_fd ~stop ~poll:0.2 server client output)
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          accept_loop ()
+        end
+      in
+      accept_loop ())

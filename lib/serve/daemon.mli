@@ -1,0 +1,40 @@
+(** Transport loops for the tuning server: scripted, stdio, and Unix
+    socket, all speaking the newline-delimited {!Protocol}.
+
+    Every loop guarantees a graceful exit: on end of input, a [shutdown]
+    request, or a SIGINT/SIGTERM (when handlers are installed), the
+    server's {!Server.graceful_stop} runs — checkpointing every
+    checkpointable live session and shutting the pool down — before the
+    loop returns, so the caller can flush observability sinks and exit
+    0.  A session checkpointed this way resumes with [altune resume] to
+    the same bytes the uninterrupted standalone run would print. *)
+
+val make_stop : unit -> bool Atomic.t
+(** A fresh stop flag, initially false. *)
+
+val install_signal_handlers : bool Atomic.t -> unit
+(** Route SIGINT and SIGTERM to setting the flag.  The serve loops poll
+    it between requests; nothing extra is written to the protocol
+    stream on a signal. *)
+
+val serve_script : Server.t -> path:string -> output:out_channel -> unit
+(** Feed the request lines of the file at [path] to the server,
+    writing one response line per request to [output] (flushed per
+    line).  Blank lines are skipped.  Stops early after a [shutdown]
+    request.  Deterministic: same script, same server config => same
+    output bytes, at any [jobs]. *)
+
+val serve_channel :
+  ?stop:bool Atomic.t -> Server.t -> input:in_channel -> output:out_channel -> unit
+(** Blocking request/response loop over arbitrary channels (tests, or
+    callers managing their own transport). *)
+
+val serve_stdio : ?stop:bool Atomic.t -> Server.t -> unit
+(** Serve stdin/stdout, polling [stop] between reads so signals
+    interrupt a quiet connection promptly. *)
+
+val serve_socket : ?stop:bool Atomic.t -> Server.t -> path:string -> unit
+(** Listen on a Unix domain socket at [path] (replacing any stale
+    socket file), serving one client connection at a time; sessions
+    persist across connections.  Returns once [stop] is set or a client
+    sent [shutdown]; removes the socket file on the way out. *)

@@ -1,0 +1,386 @@
+module Json = Altune_obs.Json
+
+type open_params = {
+  o_session : string;
+  o_bench : string;
+  o_scale : string;
+  o_seed : int;
+  o_fault : string option;
+  o_budget : float option;
+  o_n_max : int option;
+  o_checkpoint : string option;
+}
+
+type request =
+  | Open of open_params
+  | Step of { session : string; iterations : int }
+  | Tick of { iterations : int }
+  | Status of { session : string }
+  | Checkpoint of { session : string; path : string option }
+  | Close of { session : string }
+  | Stats
+  | Shutdown
+
+type session_state = Queued | Live | Done | Closed
+
+type session_view = {
+  v_session : string;
+  v_state : session_state;
+  v_position : int option;
+  v_iteration : int;
+  v_examples : int;
+  v_observations : int;
+  v_cost_s : float;
+  v_rmse : float option;
+}
+
+type memo_stats = {
+  m_lookups : int;
+  m_entries : int;
+  m_hits : int;
+  m_shared_keys : int;
+  m_cross_hits : int;
+}
+
+type server_stats = {
+  s_opened : int;
+  s_live : int;
+  s_queued : int;
+  s_done : int;
+  s_closed : int;
+  s_memo : memo_stats;
+}
+
+type reply =
+  | R_session of session_view
+  | R_tick of session_view list
+  | R_stats of server_stats
+  | R_checkpoint of { session : string; path : string; iteration : int }
+  | R_close of { session : string; admitted : string list }
+  | R_shutdown of { checkpointed : (string * string) list }
+
+type response = { r_id : int option; r_result : (reply, string) result }
+
+(* --- Requests --------------------------------------------------------- *)
+
+let opt name f = function None -> [] | Some v -> [ (name, f v) ]
+
+let request_to_json ?id req =
+  let id_field = opt "id" (fun i -> Json.Int i) id in
+  let fields =
+    match req with
+    | Open p ->
+        [ ("req", Json.String "open"); ("session", Json.String p.o_session);
+          ("bench", Json.String p.o_bench); ("scale", Json.String p.o_scale);
+          ("seed", Json.Int p.o_seed) ]
+        @ opt "fault" (fun s -> Json.String s) p.o_fault
+        @ opt "budget" (fun b -> Json.Float b) p.o_budget
+        @ opt "n_max" (fun n -> Json.Int n) p.o_n_max
+        @ opt "checkpoint" (fun s -> Json.String s) p.o_checkpoint
+    | Step { session; iterations } ->
+        [ ("req", Json.String "step"); ("session", Json.String session);
+          ("iterations", Json.Int iterations) ]
+    | Tick { iterations } ->
+        [ ("req", Json.String "tick"); ("iterations", Json.Int iterations) ]
+    | Status { session } ->
+        [ ("req", Json.String "status"); ("session", Json.String session) ]
+    | Checkpoint { session; path } ->
+        [ ("req", Json.String "checkpoint"); ("session", Json.String session) ]
+        @ opt "path" (fun s -> Json.String s) path
+    | Close { session } ->
+        [ ("req", Json.String "close"); ("session", Json.String session) ]
+    | Stats -> [ ("req", Json.String "stats") ]
+    | Shutdown -> [ ("req", Json.String "shutdown") ]
+  in
+  Json.Obj (id_field @ fields)
+
+let request_to_line ?id req = Json.to_string (request_to_json ?id req)
+
+let str_field j name =
+  match Option.bind (Json.member name j) Json.to_string_opt with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing or non-string %S field" name)
+
+let opt_str_field j name =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match Json.to_string_opt v with
+      | Some s -> Ok (Some s)
+      | None -> Error (Printf.sprintf "non-string %S field" name))
+
+let opt_int_field j name =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match Json.to_int_opt v with
+      | Some i -> Ok (Some i)
+      | None -> Error (Printf.sprintf "non-integer %S field" name))
+
+let opt_float_field j name =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match Json.to_float_opt v with
+      | Some f -> Ok (Some f)
+      | None -> Error (Printf.sprintf "non-number %S field" name))
+
+let ( let* ) = Result.bind
+
+let request_of_json j =
+  match j with
+  | Json.Obj _ -> (
+      let* id = opt_int_field j "id" in
+      let* kind = str_field j "req" in
+      let* req =
+        match kind with
+        | "open" ->
+            let* o_session = str_field j "session" in
+            let* o_bench = str_field j "bench" in
+            let* scale = opt_str_field j "scale" in
+            let* seed = opt_int_field j "seed" in
+            let* o_fault = opt_str_field j "fault" in
+            let* o_budget = opt_float_field j "budget" in
+            let* o_n_max = opt_int_field j "n_max" in
+            let* o_checkpoint = opt_str_field j "checkpoint" in
+            Ok
+              (Open
+                 {
+                   o_session;
+                   o_bench;
+                   o_scale = Option.value scale ~default:"smoke";
+                   o_seed = Option.value seed ~default:42;
+                   o_fault;
+                   o_budget;
+                   o_n_max;
+                   o_checkpoint;
+                 })
+        | "step" ->
+            let* session = str_field j "session" in
+            let* n = opt_int_field j "iterations" in
+            Ok (Step { session; iterations = Option.value n ~default:1 })
+        | "tick" ->
+            let* n = opt_int_field j "iterations" in
+            Ok (Tick { iterations = Option.value n ~default:1 })
+        | "status" ->
+            let* session = str_field j "session" in
+            Ok (Status { session })
+        | "checkpoint" ->
+            let* session = str_field j "session" in
+            let* path = opt_str_field j "path" in
+            Ok (Checkpoint { session; path })
+        | "close" ->
+            let* session = str_field j "session" in
+            Ok (Close { session })
+        | "stats" -> Ok Stats
+        | "shutdown" -> Ok Shutdown
+        | other -> Error (Printf.sprintf "unknown request %S" other)
+      in
+      Ok (id, req))
+  | _ -> Error "request must be a JSON object"
+
+let request_of_line line =
+  match Json.of_string line with
+  | Error e -> Error (None, "malformed JSON: " ^ e)
+  | Ok j -> (
+      (* Even when the request itself is bad, echo any usable id so the
+         client can correlate the error with its request. *)
+      let id = Option.bind (Json.member "id" j) Json.to_int_opt in
+      match request_of_json j with
+      | Ok r -> Ok r
+      | Error e -> Error (id, e))
+
+(* --- Responses -------------------------------------------------------- *)
+
+let state_to_string = function
+  | Queued -> "queued"
+  | Live -> "live"
+  | Done -> "done"
+  | Closed -> "closed"
+
+let state_of_string = function
+  | "queued" -> Ok Queued
+  | "live" -> Ok Live
+  | "done" -> Ok Done
+  | "closed" -> Ok Closed
+  | s -> Error (Printf.sprintf "unknown session state %S" s)
+
+let view_fields v =
+  [ ("session", Json.String v.v_session);
+    ("state", Json.String (state_to_string v.v_state)) ]
+  @ opt "position" (fun p -> Json.Int p) v.v_position
+  @ [ ("iteration", Json.Int v.v_iteration);
+      ("examples", Json.Int v.v_examples);
+      ("observations", Json.Int v.v_observations);
+      ("cost_s", Json.Float v.v_cost_s) ]
+  @ opt "rmse" (fun r -> Json.Float r) v.v_rmse
+
+let memo_to_json m =
+  Json.Obj
+    [ ("lookups", Json.Int m.m_lookups); ("entries", Json.Int m.m_entries);
+      ("hits", Json.Int m.m_hits); ("shared_keys", Json.Int m.m_shared_keys);
+      ("cross_hits", Json.Int m.m_cross_hits) ]
+
+let reply_fields = function
+  | R_session v -> (("reply", Json.String "session") :: view_fields v)
+  | R_tick vs ->
+      [ ("reply", Json.String "tick");
+        ("stepped", Json.List (List.map (fun v -> Json.Obj (view_fields v)) vs))
+      ]
+  | R_stats s ->
+      [ ("reply", Json.String "stats"); ("opened", Json.Int s.s_opened);
+        ("live", Json.Int s.s_live); ("queued", Json.Int s.s_queued);
+        ("done", Json.Int s.s_done); ("closed", Json.Int s.s_closed);
+        ("memo", memo_to_json s.s_memo) ]
+  | R_checkpoint { session; path; iteration } ->
+      [ ("reply", Json.String "checkpoint"); ("session", Json.String session);
+        ("path", Json.String path); ("iteration", Json.Int iteration) ]
+  | R_close { session; admitted } ->
+      [ ("reply", Json.String "close"); ("session", Json.String session);
+        ("admitted", Json.List (List.map (fun s -> Json.String s) admitted))
+      ]
+  | R_shutdown { checkpointed } ->
+      [ ("reply", Json.String "shutdown");
+        ( "checkpointed",
+          Json.List
+            (List.map
+               (fun (s, p) ->
+                 Json.Obj
+                   [ ("session", Json.String s); ("path", Json.String p) ])
+               checkpointed) ) ]
+
+let response_to_json r =
+  let id_field = opt "id" (fun i -> Json.Int i) r.r_id in
+  match r.r_result with
+  | Ok reply ->
+      Json.Obj (id_field @ [ ("ok", Json.Bool true) ] @ reply_fields reply)
+  | Error e ->
+      Json.Obj
+        (id_field @ [ ("ok", Json.Bool false); ("error", Json.String e) ])
+
+let response_to_line r = Json.to_string (response_to_json r)
+
+let view_of_json j =
+  let* v_session = str_field j "session" in
+  let* state_s = str_field j "state" in
+  let* v_state = state_of_string state_s in
+  let* v_position = opt_int_field j "position" in
+  let* v_iteration = opt_int_field j "iteration" in
+  let* v_examples = opt_int_field j "examples" in
+  let* v_observations = opt_int_field j "observations" in
+  let* v_cost_s = opt_float_field j "cost_s" in
+  let* v_rmse = opt_float_field j "rmse" in
+  let req name = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing %S field" name)
+  in
+  let* v_iteration = req "iteration" v_iteration in
+  let* v_examples = req "examples" v_examples in
+  let* v_observations = req "observations" v_observations in
+  let* v_cost_s = req "cost_s" v_cost_s in
+  Ok
+    {
+      v_session;
+      v_state;
+      v_position;
+      v_iteration;
+      v_examples;
+      v_observations;
+      v_cost_s;
+      v_rmse;
+    }
+
+let int_field j name =
+  match opt_int_field j name with
+  | Ok (Some i) -> Ok i
+  | Ok None -> Error (Printf.sprintf "missing %S field" name)
+  | Error e -> Error e
+
+let memo_of_json j =
+  let* m_lookups = int_field j "lookups" in
+  let* m_entries = int_field j "entries" in
+  let* m_hits = int_field j "hits" in
+  let* m_shared_keys = int_field j "shared_keys" in
+  let* m_cross_hits = int_field j "cross_hits" in
+  Ok { m_lookups; m_entries; m_hits; m_shared_keys; m_cross_hits }
+
+let reply_of_json j =
+  let* kind = str_field j "reply" in
+  match kind with
+  | "session" ->
+      let* v = view_of_json j in
+      Ok (R_session v)
+  | "tick" -> (
+      match Json.member "stepped" j with
+      | Some (Json.List items) ->
+          let* vs =
+            List.fold_right
+              (fun item acc ->
+                let* acc = acc in
+                let* v = view_of_json item in
+                Ok (v :: acc))
+              items (Ok [])
+          in
+          Ok (R_tick vs)
+      | _ -> Error "missing or non-list \"stepped\" field")
+  | "stats" ->
+      let* s_opened = int_field j "opened" in
+      let* s_live = int_field j "live" in
+      let* s_queued = int_field j "queued" in
+      let* s_done = int_field j "done" in
+      let* s_closed = int_field j "closed" in
+      let* s_memo =
+        match Json.member "memo" j with
+        | Some m -> memo_of_json m
+        | None -> Error "missing \"memo\" field"
+      in
+      Ok (R_stats { s_opened; s_live; s_queued; s_done; s_closed; s_memo })
+  | "checkpoint" ->
+      let* session = str_field j "session" in
+      let* path = str_field j "path" in
+      let* iteration = int_field j "iteration" in
+      Ok (R_checkpoint { session; path; iteration })
+  | "close" -> (
+      let* session = str_field j "session" in
+      match Json.member "admitted" j with
+      | Some (Json.List items) ->
+          let* admitted =
+            List.fold_right
+              (fun item acc ->
+                let* acc = acc in
+                match Json.to_string_opt item with
+                | Some s -> Ok (s :: acc)
+                | None -> Error "non-string entry in \"admitted\"")
+              items (Ok [])
+          in
+          Ok (R_close { session; admitted })
+      | _ -> Error "missing or non-list \"admitted\" field")
+  | "shutdown" -> (
+      match Json.member "checkpointed" j with
+      | Some (Json.List items) ->
+          let* checkpointed =
+            List.fold_right
+              (fun item acc ->
+                let* acc = acc in
+                let* s = str_field item "session" in
+                let* p = str_field item "path" in
+                Ok ((s, p) :: acc))
+              items (Ok [])
+          in
+          Ok (R_shutdown { checkpointed })
+      | _ -> Error "missing or non-list \"checkpointed\" field")
+  | other -> Error (Printf.sprintf "unknown reply %S" other)
+
+let response_of_line line =
+  match Json.of_string line with
+  | Error e -> Error ("malformed JSON: " ^ e)
+  | Ok j -> (
+      let* r_id = opt_int_field j "id" in
+      match Option.bind (Json.member "ok" j) Json.to_bool_opt with
+      | Some true ->
+          let* reply = reply_of_json j in
+          Ok { r_id; r_result = Ok reply }
+      | Some false ->
+          let* e = str_field j "error" in
+          Ok { r_id; r_result = Error e }
+      | None -> Error "missing or non-boolean \"ok\" field")

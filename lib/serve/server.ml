@@ -1,0 +1,374 @@
+module Spapt = Altune_spapt.Spapt
+module Kernels = Altune_spapt.Kernels
+module Scale = Altune_experiments.Scale
+module Fault = Altune_exec.Fault
+module Memo = Altune_exec.Memo
+module Pool = Altune_exec.Pool
+
+type config = {
+  jobs : int;
+  max_live : int;
+  max_queue : int;
+  budget_cap : float option;
+  checkpoint_dir : string option;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    max_live = 8;
+    max_queue = 64;
+    budget_cap = None;
+    checkpoint_dir = None;
+  }
+
+type t = {
+  config : config;
+  pool : Pool.t;
+  memo : (string * string, float * float) Memo.t;
+  (* Cross-session accounting: per (bench, config-key), how many
+     evaluation lookups each session made.  A multiset, not an event
+     log: under parallel ticks the per-key totals are schedule-free
+     even though the interleaving of lookups is not. *)
+  acc_lock : Mutex.t;
+  acc : (string * string, (int, int) Hashtbl.t) Hashtbl.t;
+  sessions : (string, Session.t) Hashtbl.t;
+  mutable order : string list;  (* admission order, newest first *)
+  mutable queue : string list;  (* FIFO of queued names, head first *)
+  mutable opened : int;
+  mutable stopped : bool;
+}
+
+let create config =
+  if config.jobs < 1 then invalid_arg "Server.create: jobs must be >= 1";
+  if config.max_live < 1 then
+    invalid_arg "Server.create: max_live must be >= 1";
+  {
+    config;
+    pool = Pool.create ~jobs:config.jobs ();
+    memo = Memo.create ~name:"serve.memo" ();
+    acc_lock = Mutex.create ();
+    acc = Hashtbl.create 4096;
+    sessions = Hashtbl.create 64;
+    order = [];
+    queue = [];
+    opened = 0;
+    stopped = false;
+  }
+
+let stopped t = t.stopped
+
+(* --- Shared-memo accounting ------------------------------------------- *)
+
+let note_lookup t ~session_id key =
+  Mutex.lock t.acc_lock;
+  let per =
+    match Hashtbl.find_opt t.acc key with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 4 in
+        Hashtbl.replace t.acc key h;
+        h
+  in
+  Hashtbl.replace per session_id
+    (1 + Option.value ~default:0 (Hashtbl.find_opt per session_id));
+  Mutex.unlock t.acc_lock
+
+let share_for t ~session_id ~bench : Spapt.share =
+ fun ~key compute ->
+  let k = (bench, key) in
+  note_lookup t ~session_id k;
+  Memo.find_or_compute t.memo k compute
+
+let memo_stats t =
+  Mutex.lock t.acc_lock;
+  let entries = Hashtbl.length t.acc in
+  let lookups = ref 0 in
+  let shared = ref 0 in
+  let cross = ref 0 in
+  Hashtbl.iter
+    (fun _ per ->
+      let total = Hashtbl.fold (fun _ c a -> a + c) per 0 in
+      lookups := !lookups + total;
+      if Hashtbl.length per > 1 then incr shared;
+      (* Canonical owner = lowest admission order, not whoever computed
+         first: compute order depends on scheduling, admission does not. *)
+      let owner = Hashtbl.fold (fun sid _ a -> min sid a) per max_int in
+      cross := !cross + (total - Hashtbl.find per owner))
+    t.acc;
+  Mutex.unlock t.acc_lock;
+  {
+    Protocol.m_lookups = !lookups;
+    m_entries = entries;
+    m_hits = !lookups - entries;
+    m_shared_keys = !shared;
+    m_cross_hits = !cross;
+  }
+
+(* --- Session store ----------------------------------------------------- *)
+
+let find t name =
+  match Hashtbl.find_opt t.sessions name with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "no session %S" name)
+
+let in_admission_order t = List.rev t.order
+
+let live_names t =
+  List.filter
+    (fun n -> Session.phase (Hashtbl.find t.sessions n) = Session.Live)
+    (in_admission_order t)
+
+let count_phase t p =
+  List.length
+    (List.filter
+       (fun n -> Session.phase (Hashtbl.find t.sessions n) = p)
+       (in_admission_order t))
+
+let queue_position t name =
+  let rec index i = function
+    | [] -> None
+    | n :: _ when String.equal n name -> Some i
+    | _ :: rest -> index (i + 1) rest
+  in
+  index 0 t.queue
+
+let view t s =
+  Session.view s ~position:(queue_position t (Session.config s).Session.name)
+
+(* Promote queued sessions into freed live slots, FIFO.  Called at the
+   end of every request that can free a slot, so the admission sequence
+   is a deterministic function of the request sequence. *)
+let promote t =
+  let rec go admitted =
+    if count_phase t Session.Live >= t.config.max_live then List.rev admitted
+    else
+      match t.queue with
+      | [] -> List.rev admitted
+      | name :: rest ->
+          t.queue <- rest;
+          Session.admit (Hashtbl.find t.sessions name);
+          go (name :: admitted)
+  in
+  go []
+
+let stats t =
+  {
+    Protocol.s_opened = t.opened;
+    s_live = count_phase t Session.Live;
+    s_queued = List.length t.queue;
+    s_done = count_phase t Session.Done;
+    s_closed = count_phase t Session.Closed;
+    s_memo = memo_stats t;
+  }
+
+(* --- Open -------------------------------------------------------------- *)
+
+let session_config (p : Protocol.open_params) :
+    (Session.config, string) result =
+  if String.length p.o_session = 0 then Error "empty session name"
+  else if not (List.mem p.o_bench Kernels.names) then
+    Error
+      (Printf.sprintf "unknown benchmark %S; known: %s" p.o_bench
+         (String.concat ", " Kernels.names))
+  else
+    match Scale.of_label p.o_scale with
+    | None -> Error (Printf.sprintf "unknown scale %S" p.o_scale)
+    | Some scale -> (
+        match
+          match p.o_fault with
+          | None -> Ok None
+          | Some s -> (
+              match Fault.of_string s with
+              | Ok sp -> Ok (Some sp)
+              | Error e -> Error ("bad fault spec: " ^ e))
+        with
+        | Error e -> Error e
+        | Ok fault ->
+            if
+              (match p.o_budget with Some b -> b <= 0.0 | None -> false)
+              || (match p.o_n_max with Some n -> n < 1 | None -> false)
+            then Error "budget and n_max must be positive"
+            else
+              Ok
+                {
+                  Session.name = p.o_session;
+                  bench = p.o_bench;
+                  scale;
+                  seed = p.o_seed;
+                  fault;
+                  budget = p.o_budget;
+                  n_max = p.o_n_max;
+                  checkpoint_path = p.o_checkpoint;
+                })
+
+let handle_open t (p : Protocol.open_params) =
+  if Hashtbl.mem t.sessions p.o_session then
+    Error (Printf.sprintf "session %S already exists" p.o_session)
+  else
+    match session_config p with
+    | Error e -> Error e
+    | Ok cfg -> (
+        match (t.config.budget_cap, cfg.Session.budget) with
+        | Some cap, Some b when b > cap ->
+            Error
+              (Printf.sprintf
+                 "budget %.0fs exceeds the server's per-session cap of %.0fs"
+                 b cap)
+        | Some cap, None ->
+            (* A capped server only admits sessions that declare a
+               budget: unbounded work cannot be admission-controlled. *)
+            Error
+              (Printf.sprintf
+                 "this server requires a per-session budget (cap %.0fs)" cap)
+        | _ ->
+            let live = count_phase t Session.Live in
+            let queued = List.length t.queue in
+            if live >= t.config.max_live && queued >= t.config.max_queue then
+              Error
+                (Printf.sprintf
+                   "server at capacity: %d live, %d queued" live queued)
+            else begin
+              let id = t.opened in
+              t.opened <- t.opened + 1;
+              let share =
+                share_for t ~session_id:id ~bench:cfg.Session.bench
+              in
+              let s = Session.create ~id ~share cfg in
+              Hashtbl.replace t.sessions cfg.Session.name s;
+              t.order <- cfg.Session.name :: t.order;
+              if live < t.config.max_live then Session.admit s
+              else t.queue <- t.queue @ [ cfg.Session.name ];
+              Ok (Protocol.R_session (view t s))
+            end)
+
+(* --- Checkpointing ----------------------------------------------------- *)
+
+let checkpoint_path_for t (s : Session.t) ~explicit =
+  match explicit with
+  | Some p -> Some p
+  | None -> (
+      match (Session.config s).Session.checkpoint_path with
+      | Some p -> Some p
+      | None ->
+          Option.map
+            (fun dir ->
+              Filename.concat dir ((Session.config s).Session.name ^ ".ck.json"))
+            t.config.checkpoint_dir)
+
+let handle_checkpoint t s ~path =
+  match checkpoint_path_for t s ~explicit:path with
+  | None ->
+      Error
+        (Printf.sprintf
+           "no checkpoint path for session %S (pass one, open with \
+            \"checkpoint\", or start the server with a checkpoint \
+            directory)"
+           (Session.config s).Session.name)
+  | Some path -> (
+      match Session.save_checkpoint s ~path with
+      | Error e -> Error e
+      | Ok iteration ->
+          Ok
+            (Protocol.R_checkpoint
+               {
+                 session = (Session.config s).Session.name;
+                 path;
+                 iteration;
+               }))
+
+let graceful_stop t =
+  if t.stopped then []
+  else begin
+    t.stopped <- true;
+    let checkpointed =
+      List.filter_map
+        (fun name ->
+          let s = Hashtbl.find t.sessions name in
+          if Session.phase s <> Session.Live then None
+          else
+            match checkpoint_path_for t s ~explicit:None with
+            | None -> None
+            | Some path -> (
+                match Session.save_checkpoint s ~path with
+                | Ok _ -> Some (name, path)
+                | Error _ -> None))
+        (in_admission_order t)
+    in
+    Pool.shutdown t.pool;
+    checkpointed
+  end
+
+(* --- Dispatch ----------------------------------------------------------- *)
+
+let handle t (req : Protocol.request) =
+  if t.stopped && req <> Protocol.Stats then Error "server is shut down"
+  else
+    match req with
+    | Protocol.Open p -> handle_open t p
+    | Protocol.Step { session; iterations } -> (
+        match find t session with
+        | Error e -> Error e
+        | Ok s -> (
+            match Session.step s ~iterations with
+            | Error e -> Error e
+            | Ok () ->
+                ignore (promote t);
+                Ok (Protocol.R_session (view t s))))
+    | Protocol.Tick { iterations } ->
+        if iterations < 1 then Error "iterations must be at least 1"
+        else begin
+          let names = live_names t in
+          let sessions = List.map (Hashtbl.find t.sessions) names in
+          let results =
+            Pool.map
+              ~label:(fun i -> "serve.step " ^ List.nth names i)
+              t.pool
+              (fun s -> Session.step s ~iterations)
+              sessions
+          in
+          (* All sessions were live and iterations >= 1, so individual
+             steps cannot fail; keep the check as a tripwire. *)
+          List.iter
+            (function Ok () -> () | Error e -> failwith e)
+            results;
+          ignore (promote t);
+          Ok (Protocol.R_tick (List.map (view t) sessions))
+        end
+    | Protocol.Status { session } -> (
+        match find t session with
+        | Error e -> Error e
+        | Ok s -> Ok (Protocol.R_session (view t s)))
+    | Protocol.Checkpoint { session; path } -> (
+        match find t session with
+        | Error e -> Error e
+        | Ok s -> handle_checkpoint t s ~path)
+    | Protocol.Close { session } -> (
+        match find t session with
+        | Error e -> Error e
+        | Ok s ->
+            if Session.phase s = Session.Closed then
+              Error (Printf.sprintf "session %S already closed" session)
+            else begin
+              t.queue <-
+                List.filter (fun n -> not (String.equal n session)) t.queue;
+              Session.close s;
+              let admitted = promote t in
+              Ok (Protocol.R_close { session; admitted })
+            end)
+    | Protocol.Stats -> Ok (Protocol.R_stats (stats t))
+    | Protocol.Shutdown ->
+        let checkpointed = graceful_stop t in
+        Ok (Protocol.R_shutdown { checkpointed })
+
+let handle_line t line =
+  match Protocol.request_of_line line with
+  | Error (id, msg) ->
+      Protocol.response_to_line { r_id = id; r_result = Error msg }
+  | Ok (id, req) ->
+      let result =
+        try handle t req with
+        | Failure e -> Error e
+        | Invalid_argument e -> Error e
+      in
+      Protocol.response_to_line { r_id = id; r_result = result }

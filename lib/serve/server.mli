@@ -1,0 +1,62 @@
+(** The multi-tenant tuning server: session store, admission control,
+    and the shared cross-session memo.
+
+    One server owns one {!Altune_exec.Pool} and one compute-once
+    {!Altune_exec.Memo} keyed by (benchmark, configuration); every
+    session's simulated compile/measure evaluations go through that memo,
+    so identical configurations demanded by different tenants are
+    computed exactly once process-wide.
+
+    {b Admission policy.}  [open] admits a session immediately while
+    fewer than [max_live] sessions are live, queues it FIFO while the
+    queue is shorter than [max_queue], and rejects it otherwise (or when
+    its budget exceeds [budget_cap]).  Slots free when a session
+    completes or is closed; the queue head is promoted at the end of the
+    request that freed the slot — a deterministic point, so the
+    admission sequence is a pure function of the request sequence.
+
+    {b Determinism.}  Replies carry only simulated quantities, and the
+    memo accounting is aggregated per key as a session->count multiset
+    with the lowest-admission-order toucher as each key's canonical
+    owner, so every reported figure is independent of domain scheduling:
+    a fixed request script produces byte-identical responses at any
+    [jobs] count. *)
+
+type config = {
+  jobs : int;  (** Domains in the server's pool (>= 1). *)
+  max_live : int;  (** Live-session cap (admission control). *)
+  max_queue : int;  (** Queued-session cap beyond the live ones. *)
+  budget_cap : float option;
+      (** Reject sessions asking for a larger simulated-cost budget. *)
+  checkpoint_dir : string option;
+      (** Default directory for shutdown checkpoints of sessions opened
+          without an explicit checkpoint path. *)
+}
+
+val default_config : config
+(** [jobs = 1], [max_live = 8], [max_queue = 64], no budget cap, no
+    checkpoint directory. *)
+
+type t
+
+val create : config -> t
+
+val handle : t -> Protocol.request -> (Protocol.reply, string) result
+(** Dispatch one request.  Requests are handled one at a time; [Tick]
+    fans the live sessions out over the server's pool internally. *)
+
+val handle_line : t -> string -> string
+(** Parse one request line, dispatch it, and render the response line
+    (no trailing newline).  Malformed input and handler exceptions both
+    become error responses — the server never dies on bad input. *)
+
+val graceful_stop : t -> (string * string) list
+(** Checkpoint every live session that has progress, stock settings and
+    a checkpoint path (explicit, or derived from [checkpoint_dir]),
+    refuse new work, and shut the pool down.  Returns the (session,
+    path) pairs in admission order.  Idempotent; also invoked by the
+    [Shutdown] request. *)
+
+val stopped : t -> bool
+val stats : t -> Protocol.server_stats
+val memo_stats : t -> Protocol.memo_stats

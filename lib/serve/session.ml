@@ -1,0 +1,244 @@
+module Spapt = Altune_spapt.Spapt
+module Scale = Altune_experiments.Scale
+module Adapter = Altune_experiments.Adapter
+module Runs = Altune_experiments.Runs
+module Learner = Altune_core.Learner
+module Checkpoint = Altune_core.Checkpoint
+module Cost = Altune_core.Cost
+module Fault = Altune_exec.Fault
+module Rng = Altune_prng.Rng
+module Events = Altune_obs.Events
+
+type config = {
+  name : string;
+  bench : string;
+  scale : Scale.t;
+  seed : int;
+  fault : Fault.spec option;
+  budget : float option;
+  n_max : int option;
+  checkpoint_path : string option;
+}
+
+type phase = Queued | Live | Done | Closed
+
+(* Heavy per-session resources, built at the first step. *)
+type mat = {
+  problem : Altune_core.Problem.t;
+  dataset : Altune_core.Dataset.t;
+  settings : Learner.settings;
+  fault : Fault.t option;
+  fault_seed : int;
+}
+
+type t = {
+  sid : int;
+  config : config;
+  share : Spapt.share;
+  run_key : string;
+  mutable phase : phase;
+  mutable mat : mat option;
+  mutable state : Learner.state option;  (* resume point after a halt *)
+  mutable outcome : Learner.outcome option;
+}
+
+let create ~id ~share config =
+  {
+    sid = id;
+    config;
+    share;
+    run_key = "serve/" ^ config.name;
+    phase = Queued;
+    mat = None;
+    state = None;
+    outcome = None;
+  }
+
+let id t = t.sid
+let config t = t.config
+let phase t = t.phase
+let admit t = if t.phase = Queued then t.phase <- Live
+let close t = t.phase <- Closed
+let stock_settings t = t.config.n_max = None && t.config.budget = None
+
+let phase_name = function
+  | Queued -> "queued"
+  | Live -> "live"
+  | Done -> "done"
+  | Closed -> "closed"
+
+let settings_of (c : config) =
+  let s = c.scale.Scale.adaptive in
+  let s =
+    match c.n_max with None -> s | Some n -> { s with Learner.n_max = n }
+  in
+  match c.budget with
+  | None -> s
+  | Some b -> { s with Learner.stop = Learner.Cost_budget b :: s.Learner.stop }
+
+let materialize t =
+  match t.mat with
+  | Some m -> m
+  | None ->
+      let b = Spapt.create t.config.bench in
+      Spapt.set_share b (Some t.share);
+      let problem = Adapter.problem_of b in
+      (* The dataset is generated on a fresh *unhooked* instance: routing
+         its measurements through the shared memo would attribute them to
+         whichever session computed the (process-wide cached) dataset
+         first — a schedule-dependent figure.  Training and evaluation
+         measurements all go through [problem], i.e. through the memo. *)
+      let dataset =
+        Runs.dataset_for (Spapt.create t.config.bench) t.config.scale
+          ~seed:t.config.seed
+      in
+      (* Fault seed exactly as [altune tune] derives it, so a served
+         session (and its checkpoints) reproduces the standalone run. *)
+      let tune_key =
+        Printf.sprintf "%s/%s/tune/0" t.config.bench t.config.scale.Scale.label
+      in
+      let fault_seed =
+        Rng.derive ~seed:t.config.seed [ S "fault"; S tune_key ]
+      in
+      let fault =
+        Option.map (fun sp -> Fault.create sp ~seed:fault_seed) t.config.fault
+      in
+      let m =
+        {
+          problem;
+          dataset;
+          settings = settings_of t.config;
+          fault;
+          fault_seed;
+        }
+      in
+      t.mat <- Some m;
+      m
+
+let step t ~iterations =
+  if t.phase <> Live then
+    Error
+      (Printf.sprintf "session %S is %s, not live" t.config.name
+         (phase_name t.phase))
+  else if iterations < 1 then Error "iterations must be at least 1"
+  else begin
+    let m = materialize t in
+    let target =
+      (match t.state with
+      | Some st -> st.Learner.st_iteration
+      | None -> m.settings.Learner.n_init)
+      + iterations
+    in
+    let saved = ref None in
+    let checkpoint =
+      ( 1,
+        fun (st : Learner.state) ->
+          if st.Learner.st_iteration >= target then begin
+            saved := Some st;
+            `Halt
+          end
+          else `Continue )
+    in
+    let halted =
+      Events.with_run t.run_key (fun () ->
+          try
+            Some
+              (Learner.run ?fault:m.fault ~checkpoint ?resume:t.state
+                 m.problem m.dataset m.settings
+                 ~rng:(Rng.create ~seed:t.config.seed))
+          with Learner.Halted -> None)
+    in
+    (match halted with
+    | Some outcome ->
+        t.outcome <- Some outcome;
+        t.state <- None;
+        t.phase <- Done
+    | None -> t.state <- !saved);
+    Ok ()
+  end
+
+let save_checkpoint t ~path =
+  if not (stock_settings t) then
+    Error
+      (Printf.sprintf
+         "session %S has non-stock settings (n_max/budget override); altune \
+          resume rebuilds settings from the scale label, so its checkpoint \
+          would not resume faithfully"
+         t.config.name)
+  else
+    match (t.phase, t.state) with
+    | Done, _ ->
+        Error
+          (Printf.sprintf "session %S already completed" t.config.name)
+    | _, None ->
+        Error
+          (Printf.sprintf "session %S has no progress to checkpoint"
+             t.config.name)
+    | _, Some st ->
+        let m = materialize t in
+        let meta =
+          {
+            Checkpoint.bench = t.config.bench;
+            scale = t.config.scale.Scale.label;
+            seed = t.config.seed;
+            every = 1;
+            fault =
+              Option.map
+                (fun sp -> (Fault.to_string sp, m.fault_seed))
+                t.config.fault;
+          }
+        in
+        Checkpoint.save ~path ~meta m.dataset st;
+        Ok st.Learner.st_iteration
+
+let view t ~position =
+  let v_state : Protocol.session_state =
+    match t.phase with
+    | Queued -> Protocol.Queued
+    | Live -> Protocol.Live
+    | Done -> Protocol.Done
+    | Closed -> Protocol.Closed
+  in
+  let base =
+    {
+      Protocol.v_session = t.config.name;
+      v_state;
+      v_position = position;
+      v_iteration = 0;
+      v_examples = 0;
+      v_observations = 0;
+      v_cost_s = 0.0;
+      v_rmse = None;
+    }
+  in
+  match (t.outcome, t.state) with
+  | Some (o : Learner.outcome), _ ->
+      let iteration =
+        match List.rev o.curve with
+        | [] -> 0
+        | (last : Learner.eval_point) :: _ -> last.iteration
+      in
+      {
+        base with
+        v_iteration = iteration;
+        v_examples = o.distinct_examples;
+        v_observations = o.total_runs;
+        v_cost_s = o.total_cost;
+        v_rmse = Some o.final_rmse;
+      }
+  | None, Some (st : Learner.state) ->
+      let c = st.st_cost in
+      {
+        base with
+        v_iteration = st.st_iteration;
+        v_examples = List.length st.st_obs;
+        v_observations = c.Cost.snap_runs;
+        v_cost_s =
+          c.Cost.snap_run_seconds +. c.Cost.snap_compile_seconds
+          +. c.Cost.snap_failure_seconds;
+        v_rmse =
+          (match List.rev st.st_curve with
+          | [] -> None
+          | (last : Learner.eval_point) :: _ -> Some last.rmse);
+      }
+  | None, None -> base

@@ -1,0 +1,76 @@
+(** One tenant's tuning session: a resumable {!Altune_core.Learner.run}
+    advanced in increments.
+
+    A session is the same run [altune tune] would perform for its
+    (benchmark, scale, seed) — same dataset, same learner stream, same
+    fault-seed derivation — except that its simulated compile/measure
+    results are obtained through the server's shared cross-session memo
+    (the [share] hook of {!Altune_spapt.Spapt.set_share}).  Because the
+    computation behind every memo key is deterministic, sharing changes
+    who {e pays} for an evaluation, never its value, so a served
+    session's learner stream is byte-identical to the standalone run's.
+
+    Stepping works by running the learner with a checkpoint callback at
+    every iteration that halts once the target iteration is reached and
+    holds the captured state as the next step's resume point; a run that
+    completes (iteration cap or cost budget) before the target instead
+    yields its final outcome and the session becomes [Done]. *)
+
+type config = {
+  name : string;
+  bench : string;
+  scale : Altune_experiments.Scale.t;
+  seed : int;
+  fault : Altune_exec.Fault.spec option;
+  budget : float option;
+      (** Extra [Cost_budget] stop criterion, simulated seconds. *)
+  n_max : int option;  (** Override of the scale's iteration cap. *)
+  checkpoint_path : string option;
+      (** Where graceful shutdown checkpoints this session. *)
+}
+
+type phase = Queued | Live | Done | Closed
+
+type t
+
+val create : id:int -> share:Altune_spapt.Spapt.share -> config -> t
+(** A fresh session in phase [Queued].  Heavy resources (benchmark
+    instance, dataset, fault injector) materialize lazily at the first
+    step, so queueing hundreds of sessions is cheap. *)
+
+val id : t -> int
+(** Admission order: the [id] passed to {!create}. *)
+
+val config : t -> config
+val phase : t -> phase
+
+val admit : t -> unit
+(** [Queued] -> [Live].  No-op in any other phase. *)
+
+val close : t -> unit
+(** Any phase -> [Closed]. *)
+
+val step : t -> iterations:int -> (unit, string) result
+(** Advance a [Live] session by [iterations] learner iterations (at
+    least 1); afterwards the phase is [Live] (halted at the target) or
+    [Done] (the run completed first).  Safe to call concurrently for
+    {e distinct} sessions (the server's tick fans sessions out over its
+    pool); a single session must only be stepped by one domain at a
+    time. *)
+
+val stock_settings : t -> bool
+(** Whether the session runs its scale's unmodified settings — the
+    precondition for {!save_checkpoint}, because [altune resume]
+    rebuilds settings from the scale label alone. *)
+
+val save_checkpoint : t -> path:string -> (int, string) result
+(** Serialize the session's resume state with
+    {!Altune_core.Checkpoint.save}, returning its iteration.  The file
+    is a regular tune checkpoint: [altune resume] continues it to the
+    same bytes the uninterrupted standalone run would print.  Errors if
+    the session has non-stock settings, has never been stepped, or
+    already completed. *)
+
+val view : t -> position:int option -> Protocol.session_view
+(** Deterministic snapshot for status replies ([position] is the queue
+    slot when queued). *)

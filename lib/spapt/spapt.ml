@@ -227,6 +227,9 @@ let specs =
       } );
   ]
 
+type share =
+  key:string -> (unit -> float * float) -> float * float
+
 type t = {
   bench_name : string;
   kernel : Ast.kernel;
@@ -236,6 +239,14 @@ type t = {
   cache : (int array, float * float) Hashtbl.t;
       (* config -> (true runtime, compile seconds) *)
   salt : int;  (* per-benchmark seed of the noise field *)
+  mutable share : share option;
+      (* When set, evaluation results are obtained through this function
+         instead of the private cache — the hook a multi-tenant server
+         uses to route (kernel, config) evaluations through one shared
+         compute-once memo.  The private cache is bypassed entirely so a
+         hooked instance holds no mutable evaluation state of its own
+         (several hooked instances may then be driven from different
+         domains at once). *)
 }
 
 let name t = t.bench_name
@@ -266,7 +277,10 @@ let create ?(machine = Machine.default) bench_name =
     noise;
     cache = Hashtbl.create 1024;
     salt = Hashtbl.hash bench_name;
+    share = None;
   }
+
+let set_share t share = t.share <- share
 
 let all () = List.map (fun (n, _) -> create n) specs
 
@@ -383,16 +397,30 @@ let features t config =
       if sd = 0.0 then 0.0 else (float_of_int raw -. mean) /. sd)
     config
 
+(* The expensive step behind every measurement: transform the kernel,
+   re-analyze it, and price it on the machine model.  Pure in [t]'s
+   immutable fields, so concurrent calls (e.g. two shared-memo computes
+   for different configs on different instances) are safe. *)
+let compute_evaluation t config =
+  let k = transformed t config in
+  let runtime = Machine.runtime_seconds t.machine (Analysis.analyze k) in
+  let compile = Machine.compile_seconds t.machine k in
+  (runtime, compile)
+
+let config_key config =
+  String.concat "," (List.map string_of_int (Array.to_list config))
+
 let evaluate t config =
-  match Hashtbl.find_opt t.cache config with
-  | Some v -> v
-  | None ->
-      let k = transformed t config in
-      let runtime = Machine.runtime_seconds t.machine (Analysis.analyze k) in
-      let compile = Machine.compile_seconds t.machine k in
-      let v = (runtime, compile) in
-      Hashtbl.replace t.cache (Array.copy config) v;
-      v
+  match t.share with
+  | Some via ->
+      via ~key:(config_key config) (fun () -> compute_evaluation t config)
+  | None -> (
+      match Hashtbl.find_opt t.cache config with
+      | Some v -> v
+      | None ->
+          let v = compute_evaluation t config in
+          Hashtbl.replace t.cache (Array.copy config) v;
+          v)
 
 let true_runtime t config = fst (evaluate t config)
 let compile_seconds t config = snd (evaluate t config)

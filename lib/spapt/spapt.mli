@@ -69,6 +69,26 @@ val features : t -> int array -> float array
 (** Scaled-and-centred feature vector (the paper's Section 4.5
     normalization), deterministic per benchmark. *)
 
+type share =
+  key:string -> (unit -> float * float) -> float * float
+(** A sharing function for evaluation results: given a configuration's
+    string key (same format as {!Altune_core.Problem.key}) and the
+    thunk computing [(true runtime, compile seconds)], return the
+    result — typically from a process-wide compute-once memo keyed by
+    (kernel, config). *)
+
+val set_share : t -> share option -> unit
+(** [set_share t (Some via)] routes every evaluation of [t] (the
+    transform + dependence re-analysis + machine-model pricing behind
+    {!true_runtime}, {!compile_seconds} and {!measure}) through [via]
+    instead of [t]'s private per-instance cache, which is then bypassed
+    entirely.  This is the cross-session sharing hook of the tuning
+    server: many sessions, each with its own [t], evaluate any given
+    (kernel, config) pair exactly once process-wide.  [via] must be
+    deterministic per key (the default computation is) and domain-safe
+    if hooked instances are driven in parallel.  [set_share t None]
+    restores the private cache. *)
+
 val true_runtime : t -> int array -> float
 (** Deterministic machine-model runtime, memoized per configuration. *)
 

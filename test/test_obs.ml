@@ -397,6 +397,7 @@ let record ?host ?cores ~section ~jobs seconds =
     cores;
     git_rev = None;
     rate = None;
+    rate_unit = None;
   }
 
 let test_bench_diff_regression () =
