@@ -14,7 +14,11 @@
    `altune report`), --metrics to dump the metrics registry to stderr
    at exit, or a subset
    of section names (table1 table2 fig1 fig2 fig5 fig6 ablation serve
-   micro) to run only those.  The serve section drives --serve-load N
+   surrogate micro) to run only those.  The surrogate section (alias
+   --surrogate) benchmarks the dynamic-tree hot path — observe
+   throughput, incremental vs full-recompute ALC — and writes
+   BENCH_surrogate.json for the bench-diff gate.  The serve section
+   drives --serve-load N
    (default 200) synthetic tuning sessions with overlapping config
    demand through the in-process tuning server, recording sessions/sec
    and the cross-session memo hit rate.  Per-section wall times are
@@ -212,6 +216,165 @@ let run_serve_load ~manifest ~scale_label ~jobs ~sessions =
     (pct memo.P.m_hits memo.P.m_lookups)
     memo.P.m_shared_keys memo.P.m_cross_hits
     (pct memo.P.m_cross_hits memo.P.m_lookups)
+
+(* --- Surrogate hot-path microbenchmark ------------------------------ *)
+
+(* Measure the dynamic-tree inner loop at a learner-shaped workload
+   (ensemble observe throughput, fast incremental ALC, and the pre-PR
+   full-recompute ALC kept behind [Dynatree.force_full_alc]) and write
+   the records to BENCH_surrogate.json in the Bench_diff format, so CI
+   can gate them against the committed bench/surrogate_baseline.json.
+   Rates use a generic "rate"/"rate_unit" pair; allocations are reported
+   as minor words per operation (Gc.minor_words delta), which is exact
+   and deterministic, unlike the wall-clock rates. *)
+let surrogate_json_path = "BENCH_surrogate.json"
+
+let append_surrogate_records ~path records =
+  let existing =
+    if not (Sys.file_exists path) then []
+    else begin
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.length line > 3 && String.sub line 0 3 = "  {" then begin
+             let line =
+               if line.[String.length line - 1] = ',' then
+                 String.sub line 0 (String.length line - 1)
+               else line
+             in
+             lines := line :: !lines
+           end
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !lines
+    end
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" (existing @ records));
+  close_out oc
+
+let run_surrogate ~(manifest : Manifest.t) ~scale_label ~jobs =
+  let module Rng = Altune_prng.Rng in
+  let module Dt = Altune_dynatree.Dynatree in
+  let dim = 8 and n_particles = 300 in
+  let n_train = 120 and n_timed_obs = 120 in
+  let n_refs = 256 and n_cands = 128 in
+  let alc_fast_iters = 30 and alc_slow_iters = 6 in
+  let params = { Dt.default_params with n_particles } in
+  let model = Dt.create ~params ~rng:(Rng.create ~seed:11) dim in
+  Dt.set_pool model (Some (Runs.pool ()));
+  let data_rng = Rng.create ~seed:13 in
+  let point () = Array.init dim (fun _ -> Rng.uniform data_rng) in
+  let response x =
+    (10.0 *. x.(0)) +. (5.0 *. x.(1) *. x.(1)) +. Rng.normal data_rng
+  in
+  for _ = 1 to n_train do
+    let x = point () in
+    Dt.observe model x (response x)
+  done;
+  let refs = Array.init n_refs (fun _ -> point ()) in
+  let cands = Array.init n_cands (fun _ -> point ()) in
+  (* Register the reference set (fills the per-leaf member caches) before
+     timing, as a learner run would on its first scoring pass. *)
+  ignore (Dt.alc_scores model ~candidates:cands ~refs);
+  let timed f =
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    f ();
+    (Unix.gettimeofday () -. t0, Gc.minor_words () -. w0)
+  in
+  (* Observe throughput: particle updates per second, with the incremental
+     ALC cache maintenance active (refs are registered). *)
+  let obs_s, obs_words =
+    timed (fun () ->
+        for _ = 1 to n_timed_obs do
+          let x = point () in
+          Dt.observe model x (response x)
+        done)
+  in
+  let obs_rate = float_of_int (n_particles * n_timed_obs) /. obs_s in
+  (* ALC scoring throughput, fast (incremental caches) and slow (the
+     pre-PR full recompute) paths over the identical model state. *)
+  let alc_work iters = float_of_int (iters * n_cands * n_particles) in
+  let fast_s, fast_words =
+    timed (fun () ->
+        for _ = 1 to alc_fast_iters do
+          ignore (Dt.alc_scores model ~candidates:cands ~refs)
+        done)
+  in
+  let fast_rate = alc_work alc_fast_iters /. fast_s in
+  Dt.force_full_alc := true;
+  let slow_s, slow_words =
+    timed (fun () ->
+        for _ = 1 to alc_slow_iters do
+          ignore (Dt.alc_scores model ~candidates:cands ~refs)
+        done)
+  in
+  Dt.force_full_alc := false;
+  let slow_rate = alc_work alc_slow_iters /. slow_s in
+  (* Full learner iteration: ingest one observation, then score the whole
+     candidate pool — the unit of work an active-learning tuning step
+     performs (observe the new measurement, pick the next configuration
+     by ALC).  This is the end-to-end rate a tuning session feels, and
+     the headline number for the flat-array + incremental-ALC rework. *)
+  let iter_n = 40 in
+  let iter_s, iter_words =
+    timed (fun () ->
+        for _ = 1 to iter_n do
+          let x = point () in
+          Dt.observe model x (response x);
+          ignore (Dt.alc_scores model ~candidates:cands ~refs)
+        done)
+  in
+  let iter_rate = float_of_int iter_n /. iter_s in
+  let per op_words ops = op_words /. float_of_int ops in
+  let m = manifest in
+  let record ~section ~seconds ~rate ~rate_unit ~words_per_op =
+    Printf.sprintf
+      "  {\"section\": %S, \"scale\": %S, \"jobs\": %d, \"seconds\": %.3f, \
+       \"host\": %S, \"cores\": %d, \"git_rev\": %S, \"ocaml\": %S, \
+       \"seed\": %d, \"rate\": %.1f, \"rate_unit\": %S, \
+       \"minor_words_per_op\": %.1f}"
+      section scale_label jobs seconds m.hostname m.cores m.git_rev
+      m.ocaml_version m.seed rate rate_unit words_per_op
+  in
+  append_surrogate_records ~path:surrogate_json_path
+    [
+      record ~section:"surrogate-observe" ~seconds:obs_s ~rate:obs_rate
+        ~rate_unit:"particles/s"
+        ~words_per_op:(per obs_words n_timed_obs);
+      record ~section:"surrogate-alc" ~seconds:fast_s ~rate:fast_rate
+        ~rate_unit:"scores/s"
+        ~words_per_op:(per fast_words alc_fast_iters);
+      record ~section:"surrogate-alc-full" ~seconds:slow_s ~rate:slow_rate
+        ~rate_unit:"scores/s"
+        ~words_per_op:(per slow_words alc_slow_iters);
+      record ~section:"surrogate-iteration" ~seconds:iter_s ~rate:iter_rate
+        ~rate_unit:"iterations/s"
+        ~words_per_op:(per iter_words iter_n);
+    ];
+  Printf.sprintf
+    "surrogate hot path: %d particles, dim %d, %d refs, %d candidates\n\
+     observe   : %d ensemble updates in %.3fs — %.0f particles/s (%.0f \
+     minor words/observe)\n\
+     alc fast  : %d calls in %.3fs — %.3e scores/s (%.0f minor words/call)\n\
+     alc full  : %d calls in %.3fs — %.3e scores/s (%.0f minor words/call)\n\
+     fast/full : %.1fx on identical model state\n\
+     iteration : %d observe+score steps in %.3fs — %.1f iterations/s \
+     (%.0f minor words/iter)\n\
+     [surrogate records appended to %s]\n"
+    n_particles dim n_refs n_cands n_timed_obs obs_s obs_rate
+    (per obs_words n_timed_obs)
+    alc_fast_iters fast_s fast_rate
+    (per fast_words alc_fast_iters)
+    alc_slow_iters slow_s slow_rate
+    (per slow_words alc_slow_iters)
+    (fast_rate /. slow_rate)
+    iter_n iter_s iter_rate (per iter_words iter_n)
+    surrogate_json_path
 
 (* --- Bechamel micro-benchmarks of the implementation's hot paths --- *)
 
@@ -457,11 +620,17 @@ let () =
   Runs.set_fault fault;
   let wanted name =
     let named =
-      List.filter
+      List.filter_map
         (fun a ->
-          List.mem a
-            [ "table1"; "table2"; "fig1"; "fig2"; "fig5"; "fig6";
-              "ablation"; "serve"; "micro" ])
+          (* `--surrogate` is accepted as an alias for the section name,
+             matching the CI invocation `bench --surrogate`. *)
+          let a = if a = "--surrogate" then "surrogate" else a in
+          if
+            List.mem a
+              [ "table1"; "table2"; "fig1"; "fig2"; "fig5"; "fig6";
+                "ablation"; "serve"; "micro"; "surrogate" ]
+          then Some a
+          else None)
         (List.tl args)
     in
     named = [] || List.mem name named
@@ -504,6 +673,10 @@ let () =
            serve_load) (fun () ->
           run_serve_load ~manifest ~scale_label:scale.Scale.label ~jobs
             ~sessions:serve_load);
+    if wanted "surrogate" then
+      section "surrogate"
+        "Surrogate hot path (observe + incremental vs full ALC)" (fun () ->
+          run_surrogate ~manifest ~scale_label:scale.Scale.label ~jobs);
     if wanted "micro" then
       section "micro" "Micro-benchmarks (Bechamel)" (fun () -> run_micro ())
   in

@@ -605,7 +605,8 @@ let tune_cmd name doc =
             Events.with_run run_key (fun () ->
                 try
                   Some
-                    (Learner.run ?fault:injector ?checkpoint problem dataset
+                    (Learner.run ?fault:injector ?checkpoint
+                       ~exec_pool:(Runs.pool ()) problem dataset
                        scale.Scale.adaptive ~rng:(Rng.create ~seed))
                 with Learner.Halted -> None)
           in
@@ -674,7 +675,8 @@ let resume_cmd name doc =
               in
               let outcome =
                 Events.with_run run_key (fun () ->
-                    Learner.run ?fault:injector ~resume:state problem dataset
+                    Learner.run ?fault:injector ~resume:state
+                      ~exec_pool:(Runs.pool ()) problem dataset
                       scale.Scale.adaptive
                       ~rng:(Rng.create ~seed:meta.seed))
               in

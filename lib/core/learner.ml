@@ -143,7 +143,7 @@ let strategy_string = function
   | Mackay -> "mackay"
   | Random_selection -> "random"
 
-let run_loop ?fault ?checkpoint ?resume (problem : Problem.t)
+let run_loop ?fault ?checkpoint ?resume ?exec_pool (problem : Problem.t)
     (dataset : Dataset.t) settings ~rng:rng0 =
   validate settings;
   (* The learner's private stream lives in a cell so that resume can point
@@ -423,6 +423,7 @@ let run_loop ?fault ?checkpoint ?resume (problem : Problem.t)
                 /. float_of_int (List.length samples) ))
             seed_data
         in
+        Surrogate.set_pool model exec_pool;
         (refs, noise_hint, rng_model_state, model, seed_means)
     | Some st ->
         List.iter
@@ -442,6 +443,7 @@ let run_loop ?fault ?checkpoint ?resume (problem : Problem.t)
           settings.model ~noise_hint:st.st_noise_hint ~rng:!rng
             ~dim:problem.dim
         in
+        Surrogate.set_pool model exec_pool;
         List.iter (fun (f, z) -> Surrogate.observe model f z) st.st_observe_log;
         rng := Rng.restore st.st_rng;
         (st.st_refs, st.st_noise_hint, st.st_rng_model, model, [])
@@ -744,7 +746,10 @@ let run_loop ?fault ?checkpoint ?resume (problem : Problem.t)
           (Surrogate.predict model (problem.features config)).mean);
   }
 
-let run ?fault ?checkpoint ?resume (problem : Problem.t) dataset settings ~rng =
+let run ?fault ?checkpoint ?resume ?exec_pool (problem : Problem.t) dataset
+    settings ~rng =
   Trace.with_span ~name:"learner.run"
     ~attrs:[ ("problem", Trace.String problem.name) ]
-    (fun () -> run_loop ?fault ?checkpoint ?resume problem dataset settings ~rng)
+    (fun () ->
+      run_loop ?fault ?checkpoint ?resume ?exec_pool problem dataset settings
+        ~rng)

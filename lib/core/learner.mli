@@ -131,6 +131,7 @@ val run :
   ?fault:Altune_exec.Fault.t ->
   ?checkpoint:int * (state -> [ `Continue | `Halt ]) ->
   ?resume:state ->
+  ?exec_pool:Altune_exec.Pool.t ->
   Problem.t ->
   Dataset.t ->
   settings ->
@@ -151,4 +152,9 @@ val run :
     checkpoint; [save] returning [`Halt] raises {!Halted}.  [?resume]
     continues from such a state (pass the same problem, dataset, settings,
     fault spec and seed) and reproduces the uninterrupted run's outcome
-    byte-for-byte. *)
+    byte-for-byte.
+
+    [?exec_pool] hands the surrogate a worker pool for its internal data
+    parallelism (particle reweighting, ALC candidate scoring).  Purely a
+    performance knob: outcomes are bit-identical with or without it, at
+    any job count. *)

@@ -22,11 +22,13 @@ module type S = sig
 
   val n_observations : t -> int
   val tree_stats : t -> tree_stats option
+  val set_pool : t -> Altune_exec.Pool.t option -> unit
 end
 
 type t = Pack : (module S with type t = 'a) * 'a -> t
 
 let observe (Pack ((module M), m)) x y = M.observe m x y
+let set_pool (Pack ((module M), m)) pool = M.set_pool m pool
 let predict (Pack ((module M), m)) x = M.predict m x
 let predictive_variance pack x = (predict pack x).variance
 
@@ -52,6 +54,7 @@ module Dynatree_surrogate = struct
 
   let alc_scores = Dynatree_impl.alc_scores
   let n_observations = Dynatree_impl.n_observations
+  let set_pool = Dynatree_impl.set_pool
 
   let tree_stats m =
     let s = Dynatree_impl.stats m in

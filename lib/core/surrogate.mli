@@ -38,6 +38,12 @@ module type S = sig
       models without tree structure, e.g. a GP).  Must be cheap and
       side-effect free: the learner calls it at every evaluation point
       when event telemetry is on. *)
+
+  val set_pool : t -> Altune_exec.Pool.t option -> unit
+  (** Attach a worker pool for internal data parallelism.  Purely a
+      performance knob — implementations must produce bit-identical
+      results with or without one (a no-op for models with nothing to
+      parallelize). *)
 end
 
 type t = Pack : (module S with type t = 'a) * 'a -> t
@@ -52,6 +58,7 @@ val alc_scores :
 val n_observations : t -> int
 val name : t -> string
 val tree_stats : t -> tree_stats option
+val set_pool : t -> Altune_exec.Pool.t option -> unit
 
 type factory = noise_hint:float option -> rng:Altune_prng.Rng.t -> dim:int -> t
 (** Build a fresh surrogate for a [dim]-dimensional standardized feature

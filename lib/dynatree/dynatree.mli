@@ -9,7 +9,18 @@
     queried at any point for a posterior predictive mean and variance —
     the MacKay active-learning score — and for the ALC (Cohn) score, the
     expected reduction of average predictive variance over a reference set
-    from one more observation at a candidate point. *)
+    from one more observation at a candidate point.
+
+    This is the inner loop of every tuning session, so the implementation
+    is built for speed without giving up determinism: per-observation
+    bookkeeping runs in preallocated arenas (no allocation after
+    {!create}), ALC scoring reads per-leaf caches maintained incrementally
+    as observations arrive (see {!Tree.alc_apply}), and the pure sweeps —
+    particle reweighting, candidate scoring — fan out on an
+    {!Altune_exec.Pool} when one is attached.  Fan-out decisions depend
+    only on problem size and every parallel write is slot-indexed, so
+    results are bit-identical at any job count; the rng-consuming particle
+    updates stay sequential. *)
 
 type params = {
   n_particles : int;
@@ -28,6 +39,10 @@ val create : ?params:params -> rng:Altune_prng.Rng.t -> int -> t
 (** [create ~rng dim] is an empty model over [dim]-dimensional (normalized)
     feature vectors.
     The rng is split internally; the caller's generator is advanced once. *)
+
+val set_pool : t -> Altune_exec.Pool.t option -> unit
+(** Attach (or detach) a pool for the parallel sweeps.  Purely a
+    performance knob: outputs are identical with or without one. *)
 
 val observe : t -> float array -> float -> unit
 (** Add one (x, y) observation and update every particle.  This is the
@@ -52,12 +67,30 @@ val alc_scores :
 (** Cohn / ALC scores for a batch of candidates: for each candidate, the
     expected reduction in total predictive variance over [refs] if the
     candidate were observed once more, averaged over particles.  Higher
-    means more useful.  Batched because the per-particle partition of
-    [refs] is shared across candidates. *)
+    means more useful.
+
+    The first call (and any call with a physically different [refs]
+    array) registers the reference set: it is partitioned once into
+    per-leaf member caches, which subsequent {!observe}s keep valid by
+    rerouting only the displaced leaves.  Scoring then costs one
+    root-to-leaf descent per (candidate, particle) — no per-call hashing
+    or sufficient-statistics math.  Pass the same [refs] array across a
+    run to get the fast path. *)
 
 val average_variance : t -> refs:float array array -> float
 (** Current average predictive variance over a reference set (diagnostic,
     and the quantity ALC estimates reductions of). *)
+
+val force_full_alc : bool ref
+(** Debug: route {!alc_scores} through the full recompute instead of the
+    incremental caches.  The differential tests assert both paths agree
+    to exact float equality. *)
+
+val reweight_par_min_particles : int ref
+val alc_par_min_work : int ref
+(** Minimum work (particles; candidates × particles) before a sweep fans
+    out on the attached pool.  Exposed so tests can force the parallel
+    path at toy sizes; outputs do not depend on these. *)
 
 val mean_n_leaves : t -> float
 val mean_depth : t -> float
@@ -79,5 +112,7 @@ type stats = {
 }
 
 val stats : t -> stats
-(** Ensemble-shape introspection, one pass over the particles.  Cheap
-    enough to call at every evaluation point of a learning run. *)
+(** Ensemble-shape introspection, one pass over the particles.  Each
+    particle's shape record is maintained incrementally by its updates,
+    so this aggregates [n_particles] cached records instead of
+    traversing every tree. *)

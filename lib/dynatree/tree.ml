@@ -1,16 +1,31 @@
 module Rng = Altune_prng.Rng
 
+(* The observation store is struct-of-arrays: one flat float array for
+   every x vector (row-major, stride [dim]) and one for the responses.
+   Particles index into it, so a leaf is a list of small ints and the
+   per-observation payload lives in exactly two cache-friendly arrays
+   instead of one boxed row per point. *)
 type store = {
   dim : int;
-  mutable xs : float array array;
+  mutable xs : float array;  (* flat, length >= size * dim *)
   mutable ys : float array;
   mutable size : int;
   next_id : int ref;  (* shared leaf-id supply *)
+  mutable scratch : int array;
+      (* Split-sampling workspace: updates are sequential (they share one
+         rng stream), so one buffer per store suffices and the per-update
+         [Array.of_list] disappears. *)
 }
 
 let make_store ~dim =
-  { dim; xs = Array.make 16 [||]; ys = Array.make 16 0.0; size = 0;
-    next_id = ref 0 }
+  {
+    dim;
+    xs = Array.make (16 * dim) 0.0;
+    ys = Array.make 16 0.0;
+    size = 0;
+    next_id = ref 0;
+    scratch = Array.make 64 0;
+  }
 
 let store_size st = st.size
 
@@ -19,21 +34,40 @@ let append st x y =
     invalid_arg "Tree.append: wrong feature dimension";
   if st.size = Array.length st.ys then begin
     let cap = 2 * st.size in
-    let xs = Array.make cap [||] and ys = Array.make cap 0.0 in
-    Array.blit st.xs 0 xs 0 st.size;
+    let xs = Array.make (cap * st.dim) 0.0 and ys = Array.make cap 0.0 in
+    Array.blit st.xs 0 xs 0 (st.size * st.dim);
     Array.blit st.ys 0 ys 0 st.size;
     st.xs <- xs;
     st.ys <- ys
   end;
-  st.xs.(st.size) <- Array.copy x;
+  Array.blit x 0 st.xs (st.size * st.dim) st.dim;
   st.ys.(st.size) <- y;
   st.size <- st.size + 1;
   st.size - 1
 
-let store_x st i = st.xs.(i)
+(* Single-coordinate access into the flat store — the hot-path read. *)
+let store_get st i d = Array.unsafe_get st.xs ((i * st.dim) + d)
+let store_x st i = Array.sub st.xs (i * st.dim) st.dim
 let store_y st i = st.ys.(i)
 
-type leaf = { id : int; indices : int list; suff : Leaf_model.suff }
+(* Per-leaf ALC cache (see Dynatree.alc_scores): [evr] is the raw
+   expected variance reduction of one more observation in this leaf — a
+   pure function of the sufficient statistics, so it is computed once at
+   leaf creation and never invalidated.  [members]/[m_epoch] cache which
+   reference points of the registered reference set fall inside the
+   leaf's region; valid only while [m_epoch] equals the ensemble's
+   current registration epoch.  Leaves are immutable except for these
+   cache fields, and nodes are shared freely across particles (a shared
+   leaf has the same region and data in every particle, so the cached
+   values agree by construction). *)
+type leaf = {
+  id : int;
+  indices : int list;
+  suff : Leaf_model.suff;
+  evr : float;
+  mutable m_epoch : int;
+  mutable members : int array;
+}
 
 type node =
   | Leaf of leaf
@@ -49,23 +83,59 @@ type params = {
 let default_params =
   { alpha = 0.95; beta = 2.0; prior = Leaf_model.default_prior; min_leaf = 2 }
 
-type t = { params : params; store : store; root : node }
+type stats = { n_leaves : int; depth : int; split_counts : int array }
+
+(* [tstats] is maintained incrementally by [update]: stay keeps it, grow
+   and prune adjust it in O(dim).  [Dynatree.stats] aggregates it on
+   every telemetry emission, so recomputing by traversal here would make
+   event emission O(total nodes) per eval point. *)
+type t = { params : params; store : store; root : node; tstats : stats }
 
 let fresh_id store =
   let id = !(store.next_id) in
   incr store.next_id;
   id
 
+(* Accumulate in scalar locals (same op order as folding [add_suff], so
+   bit-identical results) and allocate the record once at the end instead
+   of once per element. *)
 let suff_of_indices store indices =
-  List.fold_left
-    (fun s i -> Leaf_model.add_suff s (store_y store i))
-    Leaf_model.empty_suff indices
+  let n = ref 0 and sum = ref 0.0 and sumsq = ref 0.0 in
+  List.iter
+    (fun i ->
+      let y = store_y store i in
+      incr n;
+      sum := !sum +. y;
+      sumsq := !sumsq +. (y *. y))
+    indices;
+  { Leaf_model.n = !n; sum = !sum; sumsq = !sumsq }
 
-let make_leaf store indices =
-  Leaf { id = fresh_id store; indices; suff = suff_of_indices store indices }
+let no_members = [||]
+
+(* [make_leaf_with] takes a precomputed suff whose value must equal
+   [suff_of_indices store indices] — the grow path computes both sides'
+   statistics while weighing the move and reuses them here. *)
+let make_leaf_with params store indices suff =
+  {
+    id = fresh_id store;
+    indices;
+    suff;
+    evr = Leaf_model.expected_variance_reduction params.prior suff;
+    m_epoch = 0;
+    members = no_members;
+  }
+
+let make_leaf params store indices =
+  make_leaf_with params store indices (suff_of_indices store indices)
 
 let singleton params store indices =
-  { params; store; root = make_leaf store indices }
+  {
+    params;
+    store;
+    root = Leaf (make_leaf params store indices);
+    tstats =
+      { n_leaves = 1; depth = 0; split_counts = Array.make store.dim 0 };
+  }
 
 let copy t = t
 
@@ -78,6 +148,8 @@ let rec find_leaf node x =
   | Split s ->
       if x.(s.dim) <= s.threshold then find_leaf s.left x
       else find_leaf s.right x
+
+let leaf_at t x = find_leaf t.root x
 
 let predict t x =
   let l = find_leaf t.root x in
@@ -101,17 +173,8 @@ let leaf_ref_counts t refs =
     refs;
   tbl
 
-let rec n_leaves_node = function
-  | Leaf _ -> 1
-  | Split s -> n_leaves_node s.left + n_leaves_node s.right
-
-let n_leaves t = n_leaves_node t.root
-
-let rec depth_node = function
-  | Leaf _ -> 0
-  | Split s -> 1 + max (depth_node s.left) (depth_node s.right)
-
-let depth t = depth_node t.root
+let n_leaves t = t.tstats.n_leaves
+let depth t = t.tstats.depth
 
 let rec count_obs = function
   | Leaf l -> l.suff.n
@@ -119,13 +182,12 @@ let rec count_obs = function
 
 let n_observations t = count_obs t.root
 
-type stats = { n_leaves : int; depth : int; split_counts : int array }
+let stats t = t.tstats
 
-(* One traversal for everything the ensemble's introspection needs; the
-   per-dimension split counts are the raw material of the sensitivity
-   proxy (a dimension the posterior splits on often is a dimension the
-   response depends on — Gramacy & Taddy's variable-selection heuristic). *)
-let stats t =
+(* Full-traversal recomputation of [tstats] — the pre-incremental
+   implementation, kept as the differential-testing oracle and as the
+   slow path after a prune that removes the deepest leaf. *)
+let recompute_stats t =
   let split_counts = Array.make t.store.dim 0 in
   let leaves = ref 0 in
   let rec go node d depth_acc =
@@ -143,16 +205,32 @@ let stats t =
 (* Sample a candidate split of [indices]: a uniformly chosen dimension and
    a threshold at the midpoint between the values of two distinct data
    points in that dimension.  O(|leaf|) — the update loop calls this for
-   one leaf of every particle on every observation, so it must not sort.
-   Returns the partition if both sides meet the minimum leaf size; [None]
-   (no grow proposal this step) otherwise. *)
-let sample_split ~rng params store indices =
-  let arr = Array.of_list indices in
-  let n = Array.length arr in
+   one leaf of every particle on every observation, so it must not sort
+   and it must not allocate: the indices go through the store's scratch
+   buffer and the two sides' sufficient statistics come out of one
+   ordered pass (the same accumulation order a fold over the partition
+   lists would use, so the values are bit-identical to the old
+   partition-then-fold implementation).  The partition lists themselves
+   are built only if the grow move wins (see [update]).  Returns the
+   proposal if both sides meet the minimum leaf size; [None] (no grow
+   proposal this step) otherwise. *)
+let sample_split ~rng params store ~n indices =
+  (* [n] is the length of [indices], known from the leaf's [suff.n] — no
+     traversal needed to count, and none to fill either when the leaf is
+     too small to split. *)
   if n < 2 * params.min_leaf then None
   else begin
+    if n > Array.length store.scratch then
+      store.scratch <- Array.make (2 * n) 0;
+    let arr = store.scratch in
+    let k = ref 0 in
+    List.iter
+      (fun i ->
+        arr.(!k) <- i;
+        incr k)
+      indices;
     let d = Rng.int rng store.dim in
-    let value i = (store_x store arr.(i)).(d) in
+    let value i = store_get store arr.(i) d in
     (* A few attempts to find two distinct values in the chosen dim. *)
     let rec distinct_pair attempts =
       if attempts = 0 then None
@@ -166,15 +244,28 @@ let sample_split ~rng params store indices =
     | None -> None
     | Some (lo, hi) ->
         let threshold = 0.5 *. (lo +. hi) in
-        let left, right =
-          List.partition
-            (fun i -> (store_x store i).(d) <= threshold)
-            indices
-        in
-        if
-          List.length left >= params.min_leaf
-          && List.length right >= params.min_leaf
-        then Some (d, threshold, left, right)
+        let nl = ref 0 and sum_l = ref 0.0 and sumsq_l = ref 0.0 in
+        let nr = ref 0 and sum_r = ref 0.0 and sumsq_r = ref 0.0 in
+        for j = 0 to n - 1 do
+          let i = arr.(j) in
+          let y = store_y store i in
+          if store_get store i d <= threshold then begin
+            incr nl;
+            sum_l := !sum_l +. y;
+            sumsq_l := !sumsq_l +. (y *. y)
+          end
+          else begin
+            incr nr;
+            sum_r := !sum_r +. y;
+            sumsq_r := !sumsq_r +. (y *. y)
+          end
+        done;
+        if !nl >= params.min_leaf && !nr >= params.min_leaf then
+          Some
+            ( d,
+              threshold,
+              { Leaf_model.n = !nl; sum = !sum_l; sumsq = !sumsq_l },
+              { Leaf_model.n = !nr; sum = !sum_r; sumsq = !sumsq_r } )
         else None
   end
 
@@ -185,7 +276,9 @@ let log_psplit params d = log (p_split params d)
 
 type move =
   | Stay
-  | Grow of int * float * int list * int list  (* dim, threshold, l, r *)
+  | Grow of int * float * Leaf_model.suff * Leaf_model.suff
+      (* dim, threshold, left suff, right suff — the partition lists are
+         rebuilt only when this move is actually applied *)
   | Prune
 
 (* Gumbel-free categorical sampling over log weights. *)
@@ -203,9 +296,25 @@ let sample_logweights ~rng weights =
   in
   pick 0.0 exps
 
+(* What one [update] changed: the leaves displaced from this particle's
+   tree (they may survive in other particles that share them) and the
+   freshly built subtree that replaced them.  [Dynatree] uses this to
+   reroute cached reference-set members through the new subtree instead
+   of re-partitioning the whole reference set — the Gramacy & Taddy
+   observation that a one-observation posterior update only touches the
+   leaf path the observation lands in, made operational. *)
+type delta = { d_removed : leaf list; d_subtree : node }
+
+let rec count_leaves_node = function
+  | Leaf _ -> 1
+  | Split s -> count_leaves_node s.left + count_leaves_node s.right
+
+let delta_new_leaves d = count_leaves_node d.d_subtree
+
 let update ~rng t i =
   let params = t.params and store = t.store in
-  let x = store_x store i and y = store_y store i in
+  let y = store_y store i in
+  let x_at d = store_get store i d in
   let prior = params.prior in
   let lm = Leaf_model.log_marginal prior in
   (* Moves available at a leaf reached at [depth]; [prune_context] carries
@@ -215,17 +324,17 @@ let update ~rng t i =
     let suff_with = Leaf_model.add_suff suff y in
     let stay_w = log1m_psplit params depth +. lm suff_with in
     let grow =
-      match sample_split ~rng params store (i :: indices) with
+      match sample_split ~rng params store ~n:(suff.n + 1) (i :: indices) with
       | None -> []
-      | Some (d, thr, li, ri) ->
+      | Some (d, thr, suff_l, suff_r) ->
           let grow_w =
             log_psplit params depth
             +. log1m_psplit params (depth + 1)
             +. log1m_psplit params (depth + 1)
-            +. lm (suff_of_indices store li)
-            +. lm (suff_of_indices store ri)
+            +. lm suff_l
+            +. lm suff_r
           in
-          [ (Grow (d, thr, li, ri), grow_w) ]
+          [ (Grow (d, thr, suff_l, suff_r), grow_w) ]
     in
     let prune =
       match prune_context with
@@ -247,33 +356,64 @@ let update ~rng t i =
     in
     sample_logweights ~rng ((Stay, stay_w) :: (grow @ prune))
   in
-  let grown_node d thr li ri =
+  (* Apply a chosen grow: partition the leaf's indices for real (same
+     order [sample_split] scanned them in, so the precomputed suffs
+     match) and build both child leaves without re-folding. *)
+  let grown_node (l : leaf) d thr suff_l suff_r =
+    let li, ri =
+      List.partition (fun j -> store_get store j d <= thr) (i :: l.indices)
+    in
     Split
       {
         dim = d;
         threshold = thr;
-        left = make_leaf store li;
-        right = make_leaf store ri;
+        left = Leaf (make_leaf_with params store li suff_l);
+        right = Leaf (make_leaf_with params store ri suff_r);
       }
   in
   let add_to_leaf (l : leaf) =
+    let indices = i :: l.indices in
+    let suff = Leaf_model.add_suff l.suff y in
     Leaf
       {
         id = fresh_id store;
-        indices = i :: l.indices;
-        suff = Leaf_model.add_suff l.suff y;
+        indices;
+        suff;
+        evr = Leaf_model.expected_variance_reduction prior suff;
+        m_epoch = 0;
+        members = no_members;
       }
   in
+  (* Stats bookkeeping: each move's effect on the cached shape record.
+     [delta] is filled by the leaf-level handlers below. *)
+  let delta = ref None in
+  let set_delta removed subtree =
+    delta := Some { d_removed = removed; d_subtree = subtree };
+    subtree
+  in
+  let bump_split_counts d by =
+    let sc = Array.copy t.tstats.split_counts in
+    sc.(d) <- sc.(d) + by;
+    sc
+  in
+  let stats = ref t.tstats in
   let rec go node depth =
     match node with
     | Leaf l -> (
         (* Root leaf: no prune possible. *)
         match leaf_moves ~depth ~prune_context:None l.suff l.indices with
-        | Stay -> add_to_leaf l
-        | Grow (d, thr, li, ri) -> grown_node d thr li ri
+        | Stay -> set_delta [ l ] (add_to_leaf l)
+        | Grow (d, thr, suff_l, suff_r) ->
+            stats :=
+              {
+                n_leaves = t.tstats.n_leaves + 1;
+                depth = max t.tstats.depth (depth + 1);
+                split_counts = bump_split_counts d 1;
+              };
+            set_delta [ l ] (grown_node l d thr suff_l suff_r)
         | Prune -> assert false)
     | Split s ->
-        let goes_left = x.(s.dim) <= s.threshold in
+        let goes_left = x_at s.dim <= s.threshold in
         let child = if goes_left then s.left else s.right in
         let sibling = if goes_left then s.right else s.left in
         let rebuilt new_child =
@@ -291,14 +431,106 @@ let update ~rng t i =
             match
               leaf_moves ~depth:(depth + 1) ~prune_context l.suff l.indices
             with
-            | Stay -> rebuilt (add_to_leaf l)
-            | Grow (d, thr, li, ri) -> rebuilt (grown_node d thr li ri)
+            | Stay -> rebuilt (set_delta [ l ] (add_to_leaf l))
+            | Grow (d, thr, suff_l, suff_r) ->
+                stats :=
+                  {
+                    n_leaves = t.tstats.n_leaves + 1;
+                    depth = max t.tstats.depth (depth + 2);
+                    split_counts = bump_split_counts d 1;
+                  };
+                rebuilt (set_delta [ l ] (grown_node l d thr suff_l suff_r))
             | Prune ->
-                let sib_indices =
+                let sl =
                   match sibling with
-                  | Leaf sl -> sl.indices
+                  | Leaf sl -> sl
                   | Split _ -> assert false
                 in
-                make_leaf store (i :: (l.indices @ sib_indices))))
+                stats :=
+                  {
+                    n_leaves = t.tstats.n_leaves - 1;
+                    (* Provisional: corrected below when the pruned pair
+                       was at the maximum depth. *)
+                    depth = t.tstats.depth;
+                    split_counts = bump_split_counts s.dim (-1);
+                  };
+                (* The merged leaf replaces the parent split [s] itself —
+                   not the child slot — so the sibling leaf disappears
+                   with it. *)
+                set_delta [ l; sl ]
+                  (Leaf
+                     (make_leaf params store (i :: (l.indices @ sl.indices))))))
   in
-  { t with root = go t.root 0 }
+  let root = go t.root 0 in
+  let tstats = !stats in
+  let t' = { t with root; tstats } in
+  (* A prune can lower the maximum depth only if the pruned leaves sat at
+     it; prunes are rare, so the occasional traversal is cheap and keeps
+     the cached depth exact. *)
+  let t' =
+    match !delta with
+    | Some { d_removed = [ _; _ ]; _ } when tstats.depth = t.tstats.depth ->
+        let rec max_depth node d =
+          match node with
+          | Leaf _ -> d
+          | Split s -> max (max_depth s.left (d + 1)) (max_depth s.right (d + 1))
+        in
+        let real = max_depth root 0 in
+        if real <> tstats.depth then { t' with tstats = { tstats with depth = real } }
+        else t'
+    | _ -> t'
+  in
+  match !delta with
+  | Some d -> (t', d)
+  | None -> assert false (* every update replaces exactly one leaf path *)
+
+(* --- Reference-set member caches (incremental ALC support) ------------ *)
+
+(* Route [members] (indices into [refs]) down [node], filling every leaf's
+   cache for [epoch].  Partition order is preserved; only the counts are
+   consumed by scoring, but a stable order keeps reroutes deterministic. *)
+let rec fill_members refs ~epoch node members =
+  match node with
+  | Leaf l ->
+      l.members <- members;
+      l.m_epoch <- epoch
+  | Split s ->
+      let n = Array.length members in
+      let goes_left m = refs.(m).(s.dim) <= s.threshold in
+      let nl = ref 0 in
+      for k = 0 to n - 1 do
+        if goes_left members.(k) then incr nl
+      done;
+      let left = Array.make !nl 0 and right = Array.make (n - !nl) 0 in
+      let il = ref 0 and ir = ref 0 in
+      for k = 0 to n - 1 do
+        let m = members.(k) in
+        if goes_left m then begin
+          left.(!il) <- m;
+          incr il
+        end
+        else begin
+          right.(!ir) <- m;
+          incr ir
+        end
+      done;
+      fill_members refs ~epoch s.left left;
+      fill_members refs ~epoch s.right right
+
+let alc_init t ~refs ~epoch =
+  fill_members refs ~epoch t.root (Array.init (Array.length refs) Fun.id)
+
+(* Reroute the members of the displaced leaves through the replacement
+   subtree.  Falls back to a full re-partition of the particle if any
+   displaced cache is stale — that indicates a registration bug, but a
+   correct slow answer beats a crash mid-run. *)
+let alc_apply t d ~refs ~epoch =
+  if List.for_all (fun (l : leaf) -> l.m_epoch = epoch) d.d_removed then begin
+    let members =
+      match d.d_removed with
+      | [ l ] -> l.members
+      | ls -> Array.concat (List.map (fun (l : leaf) -> l.members) ls)
+    in
+    fill_members refs ~epoch d.d_subtree members
+  end
+  else alc_init t ~refs ~epoch

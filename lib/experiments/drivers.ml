@@ -424,7 +424,7 @@ let ablation ?(bench = "gemver") ~scale ~seed () =
                 ~fault:
                   (Fault.create spec
                      ~seed:(Rng.derive ~seed:rep_seed [ S "fault" ]))
-                problem dataset settings
+                ~exec_pool:(Runs.pool ()) problem dataset settings
                 ~rng:(Rng.create ~seed:rep_seed))
     in
     let curve = Experiment.repeat problem dataset settings ~seeds hook in

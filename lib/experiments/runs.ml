@@ -164,8 +164,8 @@ let curves_for bench (scale : Scale.t) ~seed =
             in
             ( tag,
               Events.with_run run_key (fun () ->
-                  (Learner.run ?fault problem dataset settings
-                     ~rng:(Rng.create ~seed:rep_seed))
+                  (Learner.run ?fault ~exec_pool:(pool ()) problem dataset
+                     settings ~rng:(Rng.create ~seed:rep_seed))
                     .curve) ))
           tasks
       in

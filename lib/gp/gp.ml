@@ -183,6 +183,9 @@ module Gp_surrogate = struct
   let alc_scores = alc_scores
   let n_observations = n_observations
   let tree_stats _ = None
+
+  (* The GP refits from scratch per observation; nothing to fan out. *)
+  let set_pool _ _ = ()
 end
 
 let factory ?(params = default_params) () : Surrogate.factory =

@@ -45,16 +45,22 @@ let record_of_json j =
       in
       let host = if null_manifest then None else str "host" in
       let cores = if null_manifest then None else int "cores" in
-      (* Throughput-style records carry a rate alongside their wall time
-         (concheck's schedules/sec, serve's sessions/sec); plain timing
-         records don't. *)
+      (* Throughput-style records carry a rate alongside their wall time;
+         plain timing records don't.  New-style records say so directly
+         with "rate"/"rate_unit"; older sections used bespoke keys
+         (concheck's schedules/sec, serve's sessions/sec), kept readable
+         so committed baselines survive. *)
       let rate, rate_unit =
-        match float "schedules_per_sec" with
-        | Some r -> (Some r, Some "sched/s")
-        | None -> (
-            match float "sessions_per_sec" with
-            | Some r -> (Some r, Some "sess/s")
-            | None -> (None, None))
+        match (float "rate", str "rate_unit") with
+        | Some r, Some u -> (Some r, Some u)
+        | Some r, None -> (Some r, Some "ops/s")
+        | None, _ -> (
+            match float "schedules_per_sec" with
+            | Some r -> (Some r, Some "sched/s")
+            | None -> (
+                match float "sessions_per_sec" with
+                | Some r -> (Some r, Some "sess/s")
+                | None -> (None, None)))
       in
       Ok
         {

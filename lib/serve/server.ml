@@ -310,7 +310,7 @@ let handle t (req : Protocol.request) =
         match find t session with
         | Error e -> Error e
         | Ok s -> (
-            match Session.step s ~iterations with
+            match Session.step ~exec_pool:t.pool s ~iterations with
             | Error e -> Error e
             | Ok () ->
                 ignore (promote t);
@@ -324,7 +324,7 @@ let handle t (req : Protocol.request) =
             Pool.map
               ~label:(fun i -> "serve.step " ^ List.nth names i)
               t.pool
-              (fun s -> Session.step s ~iterations)
+              (fun s -> Session.step ~exec_pool:t.pool s ~iterations)
               sessions
           in
           (* All sessions were live and iterations >= 1, so individual

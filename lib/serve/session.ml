@@ -115,7 +115,7 @@ let materialize t =
       t.mat <- Some m;
       m
 
-let step t ~iterations =
+let step ?exec_pool t ~iterations =
   if t.phase <> Live then
     Error
       (Printf.sprintf "session %S is %s, not live" t.config.name
@@ -144,7 +144,7 @@ let step t ~iterations =
           try
             Some
               (Learner.run ?fault:m.fault ~checkpoint ?resume:t.state
-                 m.problem m.dataset m.settings
+                 ?exec_pool m.problem m.dataset m.settings
                  ~rng:(Rng.create ~seed:t.config.seed))
           with Learner.Halted -> None)
     in

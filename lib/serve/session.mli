@@ -50,13 +50,16 @@ val admit : t -> unit
 val close : t -> unit
 (** Any phase -> [Closed]. *)
 
-val step : t -> iterations:int -> (unit, string) result
+val step :
+  ?exec_pool:Altune_exec.Pool.t -> t -> iterations:int -> (unit, string) result
 (** Advance a [Live] session by [iterations] learner iterations (at
     least 1); afterwards the phase is [Live] (halted at the target) or
     [Done] (the run completed first).  Safe to call concurrently for
     {e distinct} sessions (the server's tick fans sessions out over its
     pool); a single session must only be stepped by one domain at a
-    time. *)
+    time.  [?exec_pool] is forwarded to {!Altune_core.Learner.run} for
+    the surrogate's internal parallelism (results are identical without
+    it). *)
 
 val stock_settings : t -> bool
 (** Whether the session runs its scale's unmodified settings — the

@@ -6,6 +6,7 @@ module Leaf_model = Altune_dynatree.Leaf_model
 module Tree = Altune_dynatree.Tree
 module Dynatree = Altune_dynatree.Dynatree
 module Welford = Altune_stats.Welford
+module Pool = Altune_exec.Pool
 
 let prior = Leaf_model.default_prior
 
@@ -77,7 +78,7 @@ let make_tree_with rng data =
   List.iter
     (fun (x, y) ->
       let i = Tree.append store [| x |] y in
-      t := Tree.update ~rng !t i)
+      t := fst (Tree.update ~rng !t i))
     data;
   (!t, store)
 
@@ -240,6 +241,93 @@ let prop_prediction_finite =
           && p.variance >= 0.0)
         [ 0.0; 0.25; 0.5; 0.75; 1.0 ])
 
+(* The incremental ALC caches, the incremental tree-shape stats, and the
+   pool-parallel sweeps all replace a from-scratch computation; each must
+   agree with its slow oracle to EXACT float equality, not a tolerance —
+   any drift breaks the byte-identity guarantees downstream (kill-and-
+   resume, jobs-invariant transcripts). *)
+
+let grid2 n f = Array.init n (fun i -> f (float_of_int i /. float_of_int n))
+
+let prop_alc_incremental_matches_full =
+  QCheck.Test.make ~name:"incremental ALC = full recompute (exact)" ~count:15
+    QCheck.(pair small_int (int_range 20 120))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let params = { Dynatree.default_params with n_particles = 40 } in
+      let m = Dynatree.create ~params ~rng 2 in
+      let refs = grid2 32 (fun u -> [| u; Float.rem (u *. 7.0) 1.0 |]) in
+      let candidates = grid2 12 (fun u -> [| 1.0 -. u; u |]) in
+      let ok = ref true in
+      for k = 1 to n do
+        let x = [| Rng.uniform rng; Rng.uniform rng |] in
+        Dynatree.observe m x
+          ((if x.(0) < 0.5 then 1.0 else 3.0) +. Rng.normal ~sigma:0.2 rng);
+        (* Check at irregular intervals so the caches are maintained
+           across many observes between registrations, not just once. *)
+        if k mod 7 = 0 || k = n then begin
+          let fast = Dynatree.alc_scores m ~candidates ~refs in
+          Dynatree.force_full_alc := true;
+          let slow =
+            Fun.protect
+              ~finally:(fun () -> Dynatree.force_full_alc := false)
+              (fun () -> Dynatree.alc_scores m ~candidates ~refs)
+          in
+          if fast <> slow then ok := false
+        end
+      done;
+      !ok)
+
+let prop_tree_stats_incremental =
+  QCheck.Test.make ~name:"incremental stats = full traversal" ~count:30
+    QCheck.(pair small_int (int_range 1 120))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let store = Tree.make_store ~dim:2 in
+      let t = ref (Tree.singleton Tree.default_params store []) in
+      let ok = ref true in
+      for _ = 1 to n do
+        let x = [| Rng.uniform rng; Rng.uniform rng |] in
+        let i = Tree.append store x (Rng.normal rng) in
+        t := fst (Tree.update ~rng !t i);
+        if Tree.stats !t <> Tree.recompute_stats !t then ok := false
+      done;
+      !ok)
+
+let test_parallel_paths_bit_identical () =
+  (* Force the parallel gates open at toy sizes and compare the
+     sequential run against a 4-domain pool: predictions and ALC scores
+     must match bit for bit (OCaml [=] on floats is exact here). *)
+  let run pool =
+    let rng = Rng.create ~seed:61 in
+    let params = { Dynatree.default_params with n_particles = 40 } in
+    let m = Dynatree.create ~params ~rng 2 in
+    Dynatree.set_pool m pool;
+    let data = Rng.create ~seed:67 in
+    for _ = 1 to 150 do
+      let x = [| Rng.uniform data; Rng.uniform data |] in
+      Dynatree.observe m x
+        ((if x.(0) < 0.5 then 1.0 else 3.0) +. Rng.normal ~sigma:0.2 data)
+    done;
+    let refs = grid2 40 (fun u -> [| u; 1.0 -. u |]) in
+    let candidates = grid2 16 (fun u -> [| u; u |]) in
+    let scores = Dynatree.alc_scores m ~candidates ~refs in
+    let p = Dynatree.predict m [| 0.3; 0.7 |] in
+    (Array.to_list scores, p.mean, p.variance)
+  in
+  let saved_rw = !Dynatree.reweight_par_min_particles in
+  let saved_alc = !Dynatree.alc_par_min_work in
+  Dynatree.reweight_par_min_particles := 1;
+  Dynatree.alc_par_min_work := 1;
+  Fun.protect
+    ~finally:(fun () ->
+      Dynatree.reweight_par_min_particles := saved_rw;
+      Dynatree.alc_par_min_work := saved_alc)
+    (fun () ->
+      let seq = run None in
+      let par = Pool.with_pool ~jobs:4 (fun pool -> run (Some pool)) in
+      Alcotest.(check bool) "jobs 1 = jobs 4, bit for bit" true (seq = par))
+
 let prop_tree_observation_conservation =
   QCheck.Test.make ~name:"trees never lose observations" ~count:30
     QCheck.(pair small_int (int_range 1 80))
@@ -250,14 +338,19 @@ let prop_tree_observation_conservation =
       for _ = 1 to n do
         let x = [| Rng.uniform rng; Rng.uniform rng |] in
         let i = Tree.append store x (Rng.normal rng) in
-        t := Tree.update ~rng !t i
+        t := fst (Tree.update ~rng !t i)
       done;
       Tree.n_observations !t = n)
 
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
-      [ prop_prediction_finite; prop_tree_observation_conservation ]
+      [
+        prop_prediction_finite;
+        prop_tree_observation_conservation;
+        prop_alc_incremental_matches_full;
+        prop_tree_stats_incremental;
+      ]
   in
   Alcotest.run "dynatree"
     [
@@ -300,6 +393,8 @@ let () =
           Alcotest.test_case "alc prefers noisy region" `Quick
             test_alc_prefers_noisy_region;
           Alcotest.test_case "alc non-negative" `Quick test_alc_nonnegative;
+          Alcotest.test_case "parallel paths bit-identical" `Quick
+            test_parallel_paths_bit_identical;
         ] );
       ("properties", qsuite);
     ]
