@@ -112,7 +112,7 @@ let write_harness_json ~path ~scale ~jobs ~(manifest : Manifest.t) =
    live session in parallel until the whole fleet has completed.  The
    returned summary is deterministic (simulated quantities only); the
    wall-derived sessions/sec rate goes into the harness record. *)
-let run_serve_load ~manifest ~scale_label ~jobs ~sessions =
+let run_serve_load ~manifest ~scale_label ~jobs ~sessions ?snapshots () =
   let module Server = Altune_serve.Server in
   let module P = Altune_serve.Protocol in
   let benches = Array.of_list Altune_spapt.Kernels.names in
@@ -130,12 +130,48 @@ let run_serve_load ~manifest ~scale_label ~jobs ~sessions =
         max_queue = sessions;
         budget_cap = None;
         checkpoint_dir = None;
+        snapshot_path = snapshots;
+        snapshot_every = 10.0;
+        flight = None;
+        ledger_path = None;
       }
   in
+  (* Requests go through the line codecs, exactly like a socket client:
+     that is the path the wire-latency sketch times. *)
   let request req =
-    match Server.handle server req with
-    | Ok reply -> reply
-    | Error e -> failwith ("serve load: " ^ e)
+    let reply_line = Server.handle_line server (P.request_to_line req) in
+    match P.response_of_line reply_line with
+    | Ok { P.r_result = Ok reply; _ } -> reply
+    | Ok { P.r_result = Error e; _ } -> failwith ("serve load: " ^ e)
+    | Error e -> failwith ("serve load: bad response line: " ^ e)
+  in
+  (* With --snapshots, snapshot on a tick counter (not wall time) so the
+     record count is load-determined, and scrape the live-introspection
+     verbs once mid-load, the way an external monitor would. *)
+  let snapshot_every_ticks = 8 in
+  let scrape_at_tick = snapshot_every_ticks in
+  let scrape_base =
+    Option.map (fun p -> Filename.remove_extension p) snapshots
+  in
+  let write_file path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  let on_tick ticks =
+    if snapshots <> None && ticks mod snapshot_every_ticks = 0 then
+      ignore (Server.snapshot server);
+    match scrape_base with
+    | Some base when ticks = scrape_at_tick ->
+        (match request P.Stats_full with
+        | P.R_stats_full data ->
+            write_file (base ^ "-statsfull.json")
+              (Altune_obs.Json.to_string data ^ "\n")
+        | _ -> failwith "serve load: unexpected stats_full reply");
+        (match request P.Prom with
+        | P.R_prom text -> write_file (base ^ "-prom.txt") text
+        | _ -> failwith "serve load: unexpected prom reply")
+    | _ -> ()
   in
   let t0 = Unix.gettimeofday () in
   for i = 0 to sessions - 1 do
@@ -166,6 +202,7 @@ let run_serve_load ~manifest ~scale_label ~jobs ~sessions =
     else begin
       incr ticks;
       ignore (request (P.Tick { iterations = tick_iterations }));
+      on_tick !ticks;
       drive ()
     end
   in
@@ -604,6 +641,14 @@ let () =
     in
     find args
   in
+  let snapshots =
+    let rec find = function
+      | "--snapshots" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   let metrics = List.mem "--metrics" args in
   let progress = List.mem "--progress" args in
   let on_event =
@@ -672,7 +717,7 @@ let () =
            "Serve (tuning-as-a-service load: %d multi-tenant sessions)"
            serve_load) (fun () ->
           run_serve_load ~manifest ~scale_label:scale.Scale.label ~jobs
-            ~sessions:serve_load);
+            ~sessions:serve_load ?snapshots ());
     if wanted "surrogate" then
       section "surrogate"
         "Surrogate hot path (observe + incremental vs full ALC)" (fun () ->

@@ -21,6 +21,9 @@ module Summary = Altune_obs.Summary
 module Events = Altune_obs.Events
 module Bench_diff = Altune_obs.Bench_diff
 module Web_report = Altune_report.Web_report
+module Dashboard = Altune_report.Dashboard
+module Obs_flight = Altune_obs.Flight
+module Obs_snapshot = Altune_obs.Snapshot
 module Conc_scenarios = Altune_conc.Scenarios
 module Conc_explore = Altune_conc.Explore
 module Serve_server = Altune_serve.Server
@@ -929,10 +932,58 @@ let serve_cmd name doc =
              explicit checkpoint path; resume them with $(b,altune \
              resume).")
   in
+  let snapshots_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshots" ] ~docv:"FILE"
+          ~doc:
+            "Append one telemetry snapshot record (counters, gauges, \
+             latency-sketch quantiles, GC deltas, queue depth, memo hit \
+             rate) to the rotating JSONL series at $(docv) every \
+             $(b,--snapshot-every) seconds, plus one final record at \
+             shutdown.  Render with $(b,altune dashboard).")
+  in
+  let snapshot_every_term =
+    Arg.(
+      value
+      & opt float Serve_server.default_config.Serve_server.snapshot_every
+      & info [ "snapshot-every" ] ~docv:"SECONDS"
+          ~doc:"Snapshot pump cadence (floor: the transport poll interval).")
+  in
+  let flight_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "flight" ] ~docv:"N"
+          ~doc:
+            "Keep tracing permanently on into a bounded in-memory flight \
+             recorder retaining the last $(docv) spans per domain.  \
+             Dumped to $(b,--flight-dump) on SIGUSR1 and into the \
+             $(b,--ledger) on any error reply.  Mutually exclusive with \
+             $(b,--trace) (which records everything to disk instead).")
+  in
+  let flight_dump_term =
+    Arg.(
+      value & opt string "flight-dump.jsonl"
+      & info [ "flight-dump" ] ~docv:"FILE"
+          ~doc:"Where a SIGUSR1 dumps the flight recorder.")
+  in
+  let ledger_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:
+            "Append-only failure ledger: every request that draws an \
+             error reply is recorded as one JSON line with the \
+             offending line and the flight recorder's retained spans.")
+  in
   let term =
     Term.(
       const (fun socket script jobs max_live max_queue budget_cap
-                 checkpoint_dir trace events metrics ->
+                 checkpoint_dir snapshots snapshot_every flight flight_dump
+                 ledger trace events metrics ->
           if jobs < 1 then begin
             Printf.eprintf "--jobs must be at least 1\n";
             Stdlib.exit 2
@@ -941,6 +992,14 @@ let serve_cmd name doc =
             Printf.eprintf "--max-live must be at least 1\n";
             Stdlib.exit 2
           end;
+          if flight <> None && trace <> None then begin
+            Printf.eprintf
+              "--flight and --trace both claim the trace sink; pick one\n";
+            Stdlib.exit 2
+          end;
+          let recorder =
+            Option.map (fun n -> Obs_flight.create ~capacity:n ()) flight
+          in
           let config =
             {
               Serve_server.jobs;
@@ -948,25 +1007,87 @@ let serve_cmd name doc =
               max_queue = max 0 max_queue;
               budget_cap;
               checkpoint_dir;
+              snapshot_path = snapshots;
+              snapshot_every = Float.max 0.1 snapshot_every;
+              flight = recorder;
+              ledger_path = ledger;
             }
           in
           with_obs ~command:"serve" ~trace ~events ~metrics
             ~scale_label:"serve" ~seed:0
           @@ fun () ->
+          Option.iter Obs_flight.install recorder;
           let server = Serve_server.create config in
           match script with
-          | Some path -> Serve_daemon.serve_script server ~path ~output:stdout
+          | Some path ->
+              Serve_daemon.serve_script ~flight_dump server ~path
+                ~output:stdout
           | None -> (
               let stop = Serve_daemon.make_stop () in
-              Serve_daemon.install_signal_handlers stop;
+              let usr1 = Serve_daemon.make_flag () in
+              Serve_daemon.install_signal_handlers ~usr1 stop;
               match socket with
               | Some path ->
                   Printf.eprintf "serve: listening on %s\n%!" path;
-                  Serve_daemon.serve_socket ~stop server ~path
-              | None -> Serve_daemon.serve_stdio ~stop server))
+                  Serve_daemon.serve_socket ~stop ~usr1 ~flight_dump server
+                    ~path
+              | None ->
+                  Serve_daemon.serve_stdio ~stop ~usr1 ~flight_dump server))
       $ socket_term $ script_term $ serve_jobs_term $ max_live_term
-      $ max_queue_term $ budget_cap_term $ ckpt_dir_term $ trace_term
-      $ events_term $ metrics_term)
+      $ max_queue_term $ budget_cap_term $ ckpt_dir_term $ snapshots_term
+      $ snapshot_every_term $ flight_term $ flight_dump_term $ ledger_term
+      $ trace_term $ events_term $ metrics_term)
+  in
+  Cmd.v (Cmd.info name ~doc) term
+
+let dashboard_cmd name doc =
+  let files_term =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"SNAPSHOTS"
+          ~doc:
+            "Snapshot JSONL series written by $(b,altune serve \
+             --snapshots) (or the bench harness's $(b,--serve-load)).  \
+             Rotated predecessors ($(i,FILE.1), $(i,FILE.2), ...) are \
+             loaded automatically, oldest first.")
+  in
+  let out_term =
+    Arg.(
+      value & opt string "dashboard.html"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Where to write the HTML dashboard.")
+  in
+  let title_term =
+    Arg.(
+      value & opt string "altune ops dashboard"
+      & info [ "title" ] ~docv:"TITLE" ~doc:"Page title.")
+  in
+  let min_records_term =
+    Arg.(
+      value & opt int 1
+      & info [ "min-records" ] ~docv:"N"
+          ~doc:
+            "Fail unless at least $(docv) records were loaded — a CI \
+             tripwire that the snapshot pump actually ran.")
+  in
+  let term =
+    Term.(
+      const (fun files out title min_records ->
+          let records = List.concat_map Obs_snapshot.load_all files in
+          if List.length records < max 1 min_records then begin
+            Printf.eprintf "dashboard: %d record(s) in %s, need %d\n"
+              (List.length records)
+              (String.concat ", " files)
+              (max 1 min_records);
+            Stdlib.exit 1
+          end;
+          let oc = open_out out in
+          output_string oc (Dashboard.render ~title records);
+          close_out oc;
+          Printf.printf "dashboard: wrote %s (%d records)\n" out
+            (List.length records))
+      $ files_term $ out_term $ title_term $ min_records_term)
   in
   Cmd.v (Cmd.info name ~doc) term
 
@@ -1022,6 +1143,12 @@ let command_table =
        cross-session memo so identical configurations are profiled once \
        process-wide.",
       serve_cmd );
+    ( "dashboard",
+      "Render a daemon's snapshot time series (altune serve \
+       --snapshots) into a self-contained HTML ops dashboard: latency \
+       quantiles, throughput, admission load, memo hit rate and GC \
+       activity, with overload tripwires drawn as annotated bands.",
+      dashboard_cmd );
     ( "trace-summary",
       "Aggregate a JSONL trace into a per-phase time breakdown \
        (candidate generation, ALC scoring, tree updates, simulated \

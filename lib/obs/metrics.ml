@@ -1,52 +1,116 @@
-type counter = { c_name : string; value : int Atomic.t }
-type gauge = { g_name : string; level : float Atomic.t }
+(* Instruments live in a name-keyed registry; callers hold *handles*
+   that point at the registered cell.  [reset] bumps a global epoch and
+   empties the registry; a handle whose epoch is stale re-registers (or
+   adopts the cell someone else registered under its name) on its next
+   use, so instruments created before a reset keep working and show up
+   again — the hot path pays one atomic load and an int compare. *)
+
+type hist_cell = {
+  edges : float array;  (* strictly increasing upper bounds *)
+  h_buckets : int Atomic.t array;  (* length = Array.length edges + 1 *)
+  h_sum : float Atomic.t;
+  h_count : int Atomic.t;
+}
+
+type instrument =
+  | C of int Atomic.t
+  | G of float Atomic.t
+  | H of hist_cell
+  | S of Quantile.t
+
+type counter = { c_name : string; mutable c_cell : int Atomic.t; mutable c_seen : int }
+type gauge = { g_name : string; mutable g_cell : float Atomic.t; mutable g_seen : int }
 
 type histogram = {
   h_name : string;
-  edges : float array;  (* strictly increasing upper bounds *)
-  buckets : int Atomic.t array;  (* length = Array.length edges + 1 *)
-  sum : float Atomic.t;
-  count : int Atomic.t;
+  h_edges : float array;
+  mutable h_cell : hist_cell;
+  mutable h_seen : int;
 }
 
-type instrument = C of counter | G of gauge | H of histogram
+type sketch = {
+  s_name : string;
+  s_alpha : float;
+  mutable s_cell : Quantile.t;
+  mutable s_seen : int;
+}
 
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
 let registry_lock = Mutex.create ()
+let epoch = Atomic.make 0
 
 let with_registry f =
   Mutex.lock registry_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
 
+let kind_error name want =
+  invalid_arg (Printf.sprintf "Metrics: %S is not a %s" name want)
+
+(* Find the cell registered under [name], or register [fresh ()].
+   Must run under the registry lock; returns the current epoch too so
+   the caller can stamp its handle consistently. *)
+let resolve name ~adopt ~fresh =
+  match Hashtbl.find_opt registry name with
+  | Some i -> (adopt i, Atomic.get epoch)
+  | None ->
+      let cell, inst = fresh () in
+      Hashtbl.replace registry name inst;
+      (cell, Atomic.get epoch)
+
+(* --- Counters ---------------------------------------------------------- *)
+
+let counter_resolve name =
+  resolve name
+    ~adopt:(function C c -> c | _ -> kind_error name "counter")
+    ~fresh:(fun () ->
+      let c = Atomic.make 0 in
+      (c, C c))
+
 let counter name =
   with_registry (fun () ->
-      match Hashtbl.find_opt registry name with
-      | Some (C c) -> c
-      | Some _ ->
-          invalid_arg
-            (Printf.sprintf "Metrics: %S is not a counter" name)
-      | None ->
-          let c = { c_name = name; value = Atomic.make 0 } in
-          Hashtbl.replace registry name (C c);
-          c)
+      let cell, seen = counter_resolve name in
+      { c_name = name; c_cell = cell; c_seen = seen })
 
-let incr c = Atomic.incr c.value
-let add c n = ignore (Atomic.fetch_and_add c.value n)
-let counter_value c = Atomic.get c.value
+let counter_cell h =
+  if h.c_seen = Atomic.get epoch then h.c_cell
+  else
+    with_registry (fun () ->
+        let cell, seen = counter_resolve h.c_name in
+        h.c_cell <- cell;
+        h.c_seen <- seen;
+        cell)
+
+let incr h = Atomic.incr (counter_cell h)
+let add h n = ignore (Atomic.fetch_and_add (counter_cell h) n)
+let counter_value h = Atomic.get (counter_cell h)
+
+(* --- Gauges ------------------------------------------------------------ *)
+
+let gauge_resolve name =
+  resolve name
+    ~adopt:(function G g -> g | _ -> kind_error name "gauge")
+    ~fresh:(fun () ->
+      let g = Atomic.make 0.0 in
+      (g, G g))
 
 let gauge name =
   with_registry (fun () ->
-      match Hashtbl.find_opt registry name with
-      | Some (G g) -> g
-      | Some _ ->
-          invalid_arg (Printf.sprintf "Metrics: %S is not a gauge" name)
-      | None ->
-          let g = { g_name = name; level = Atomic.make 0.0 } in
-          Hashtbl.replace registry name (G g);
-          g)
+      let cell, seen = gauge_resolve name in
+      { g_name = name; g_cell = cell; g_seen = seen })
 
-let set_gauge g v = Atomic.set g.level v
-let gauge_value g = Atomic.get g.level
+let gauge_cell h =
+  if h.g_seen = Atomic.get epoch then h.g_cell
+  else
+    with_registry (fun () ->
+        let cell, seen = gauge_resolve h.g_name in
+        h.g_cell <- cell;
+        h.g_seen <- seen;
+        cell)
+
+let set_gauge h v = Atomic.set (gauge_cell h) v
+let gauge_value h = Atomic.get (gauge_cell h)
+
+(* --- Histograms -------------------------------------------------------- *)
 
 let default_buckets =
   [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0; 100.0 |]
@@ -62,57 +126,109 @@ let validate_edges edges =
         invalid_arg "Metrics.histogram: bucket edges must strictly increase")
     edges
 
-let histogram ?(buckets = default_buckets) name =
-  validate_edges buckets;
-  with_registry (fun () ->
-      match Hashtbl.find_opt registry name with
-      | Some (H h) ->
-          if h.edges <> buckets then
+let histogram_resolve name edges =
+  resolve name
+    ~adopt:(function
+      | H h ->
+          if h.edges <> edges then
             invalid_arg
               (Printf.sprintf
                  "Metrics: %S already registered with different buckets" name);
           h
-      | Some _ ->
-          invalid_arg (Printf.sprintf "Metrics: %S is not a histogram" name)
-      | None ->
-          let h =
-            {
-              h_name = name;
-              edges = Array.copy buckets;
-              buckets =
-                Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
-              sum = Atomic.make 0.0;
-              count = Atomic.make 0;
-            }
-          in
-          Hashtbl.replace registry name (H h);
-          h)
+      | _ -> kind_error name "histogram")
+    ~fresh:(fun () ->
+      let h =
+        {
+          edges = Array.copy edges;
+          h_buckets =
+            Array.init (Array.length edges + 1) (fun _ -> Atomic.make 0);
+          h_sum = Atomic.make 0.0;
+          h_count = Atomic.make 0;
+        }
+      in
+      (h, H h))
 
-let bucket_index h v =
-  let n = Array.length h.edges in
-  let rec find i = if i >= n then n else if v <= h.edges.(i) then i else find (i + 1) in
+let histogram ?(buckets = default_buckets) name =
+  validate_edges buckets;
+  let edges = Array.copy buckets in
+  with_registry (fun () ->
+      let cell, seen = histogram_resolve name edges in
+      { h_name = name; h_edges = edges; h_cell = cell; h_seen = seen })
+
+let hist_cell h =
+  if h.h_seen = Atomic.get epoch then h.h_cell
+  else
+    with_registry (fun () ->
+        let cell, seen = histogram_resolve h.h_name h.h_edges in
+        h.h_cell <- cell;
+        h.h_seen <- seen;
+        cell)
+
+let bucket_index cell v =
+  let n = Array.length cell.edges in
+  let rec find i =
+    if i >= n then n else if v <= cell.edges.(i) then i else find (i + 1)
+  in
   find 0
 
 let observe h v =
-  Atomic.incr h.buckets.(bucket_index h v);
-  Atomic.incr h.count;
+  let cell = hist_cell h in
+  Atomic.incr cell.h_buckets.(bucket_index cell v);
+  Atomic.incr cell.h_count;
   let rec cas_add () =
-    let old = Atomic.get h.sum in
-    if not (Atomic.compare_and_set h.sum old (old +. v)) then cas_add ()
+    let old = Atomic.get cell.h_sum in
+    if not (Atomic.compare_and_set cell.h_sum old (old +. v)) then cas_add ()
   in
   cas_add ()
 
-let histogram_count h = Atomic.get h.count
-let histogram_sum h = Atomic.get h.sum
+let histogram_count h = Atomic.get (hist_cell h).h_count
+let histogram_sum h = Atomic.get (hist_cell h).h_sum
 
-let bucket_counts h =
+let cell_bucket_counts cell =
   List.init
-    (Array.length h.buckets)
+    (Array.length cell.h_buckets)
     (fun i ->
       let edge =
-        if i < Array.length h.edges then h.edges.(i) else infinity
+        if i < Array.length cell.edges then cell.edges.(i) else infinity
       in
-      (edge, Atomic.get h.buckets.(i)))
+      (edge, Atomic.get cell.h_buckets.(i)))
+
+let bucket_counts h = cell_bucket_counts (hist_cell h)
+
+(* --- Sketches ---------------------------------------------------------- *)
+
+let sketch_resolve name alpha =
+  resolve name
+    ~adopt:(function
+      | S s ->
+          if Quantile.alpha s <> alpha then
+            invalid_arg
+              (Printf.sprintf
+                 "Metrics: %S already registered with different alpha" name);
+          s
+      | _ -> kind_error name "sketch")
+    ~fresh:(fun () ->
+      let s = Quantile.create ~alpha () in
+      (s, S s))
+
+let sketch ?(alpha = Quantile.default_alpha) name =
+  with_registry (fun () ->
+      let cell, seen = sketch_resolve name alpha in
+      { s_name = name; s_alpha = alpha; s_cell = cell; s_seen = seen })
+
+let sketch_cell h =
+  if h.s_seen = Atomic.get epoch then h.s_cell
+  else
+    with_registry (fun () ->
+        let cell, seen = sketch_resolve h.s_name h.s_alpha in
+        h.s_cell <- cell;
+        h.s_seen <- seen;
+        cell)
+
+let record h v = Quantile.add (sketch_cell h) v
+let sketch_data h = sketch_cell h
+
+(* --- Reporting --------------------------------------------------------- *)
 
 let sorted_instruments () =
   with_registry (fun () ->
@@ -125,13 +241,14 @@ let snapshot () =
        (fun (name, i) ->
          ( name,
            match i with
-           | C c -> Json.Int (counter_value c)
-           | G g -> Json.Float (gauge_value g)
+           | C c -> Json.Int (Atomic.get c)
+           | G g -> Json.Float (Atomic.get g)
+           | S s -> Quantile.summary_json s
            | H h ->
                Json.Obj
                  [
-                   ("count", Json.Int (histogram_count h));
-                   ("sum", Json.Float (histogram_sum h));
+                   ("count", Json.Int (Atomic.get h.h_count));
+                   ("sum", Json.Float (Atomic.get h.h_sum));
                    ( "buckets",
                      Json.List
                        (List.map
@@ -143,7 +260,7 @@ let snapshot () =
                                   else Json.String "inf" );
                                 ("n", Json.Int n);
                               ])
-                          (bucket_counts h)) );
+                          (cell_bucket_counts h)) );
                  ] ))
        (sorted_instruments ()))
 
@@ -153,16 +270,28 @@ let render () =
   List.iter
     (fun (name, i) ->
       match i with
-      | C c -> Buffer.add_string buf (Printf.sprintf "%-32s %d\n" name (counter_value c))
-      | G g -> Buffer.add_string buf (Printf.sprintf "%-32s %g\n" name (gauge_value g))
+      | C c ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-32s %d\n" name (Atomic.get c))
+      | G g ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-32s %g\n" name (Atomic.get g))
+      | S s ->
+          let count = Quantile.count s in
+          if count = 0 then
+            Buffer.add_string buf (Printf.sprintf "%-32s count=0\n" name)
+          else
+            Buffer.add_string buf
+              (Printf.sprintf "%-32s count=%d p50=%.6g p99=%.6g max=%.6g\n"
+                 name count (Quantile.quantile s 0.5) (Quantile.quantile s 0.99)
+                 (Quantile.max_value s))
       | H h ->
-          let count = histogram_count h in
-          let mean =
-            if count = 0 then 0.0 else histogram_sum h /. float_of_int count
-          in
+          let count = Atomic.get h.h_count in
+          let sum = Atomic.get h.h_sum in
+          let mean = if count = 0 then 0.0 else sum /. float_of_int count in
           Buffer.add_string buf
             (Printf.sprintf "%-32s count=%d sum=%.6g mean=%.6g\n" name count
-               (histogram_sum h) mean);
+               sum mean);
           List.iter
             (fun (edge, n) ->
               if n > 0 then
@@ -172,8 +301,67 @@ let render () =
                        (Printf.sprintf "le %.0e" edge)
                        n
                    else Printf.sprintf "  %-30s %d\n" "le inf" n))
-            (bucket_counts h))
+            (cell_bucket_counts h))
     (sorted_instruments ());
   Buffer.contents buf
 
-let reset () = with_registry (fun () -> Hashtbl.reset registry)
+(* Prometheus text exposition, format 0.0.4.  Zero-dependency on
+   purpose: one scrape is a string, served over whatever transport the
+   caller already has. *)
+
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let render_prom () =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (name, i) ->
+      let n = prom_name name in
+      match i with
+      | C c ->
+          line "# TYPE %s counter" n;
+          line "%s %d" n (Atomic.get c)
+      | G g ->
+          line "# TYPE %s gauge" n;
+          line "%s %s" n (prom_float (Atomic.get g))
+      | H h ->
+          line "# TYPE %s histogram" n;
+          let cum = ref 0 in
+          List.iter
+            (fun (edge, cnt) ->
+              cum := !cum + cnt;
+              let le =
+                if Float.is_finite edge then prom_float edge else "+Inf"
+              in
+              line "%s_bucket{le=\"%s\"} %d" n le !cum)
+            (cell_bucket_counts h);
+          line "%s_sum %s" n (prom_float (Atomic.get h.h_sum));
+          line "%s_count %d" n (Atomic.get h.h_count)
+      | S s ->
+          line "# TYPE %s summary" n;
+          if Quantile.count s > 0 then
+            List.iter
+              (fun q ->
+                line "%s{quantile=\"%s\"} %s" n (prom_float q)
+                  (prom_float (Quantile.quantile s q)))
+              [ 0.5; 0.9; 0.99 ];
+          line "%s_sum %s" n (prom_float (Quantile.sum s));
+          line "%s_count %d" n (Quantile.count s))
+    (sorted_instruments ());
+  Buffer.contents buf
+
+let reset () =
+  with_registry (fun () ->
+      Hashtbl.reset registry;
+      Atomic.incr epoch)

@@ -15,6 +15,7 @@
 type counter
 type gauge
 type histogram
+type sketch
 
 val counter : string -> counter
 val incr : counter -> unit
@@ -42,13 +43,34 @@ val bucket_counts : histogram -> (float * int) list
 (** [(upper_edge, count)] per bucket; the overflow bucket reports
     [infinity] as its edge. *)
 
+val sketch : ?alpha:float -> string -> sketch
+(** A mergeable {!Quantile} sketch as a registry instrument (default
+    [alpha] {!Quantile.default_alpha}).  Registering an existing name
+    with a different [alpha] raises [Invalid_argument]. *)
+
+val record : sketch -> float -> unit
+(** Add one value to the sketch (latency in seconds, by convention). *)
+
+val sketch_data : sketch -> Quantile.t
+(** The live underlying sketch — copy it ({!Quantile.copy}) before
+    doing anything slow with it. *)
+
 val snapshot : unit -> Json.t
 (** All instruments as one JSON object (sorted by name), e.g. for
-    embedding in a trace. *)
+    embedding in a trace.  Sketches render as their
+    {!Quantile.summary_json}. *)
 
 val render : unit -> string
 (** Human-readable dump, sorted by name, for [--metrics]. *)
 
+val render_prom : unit -> string
+(** Prometheus text exposition (format 0.0.4): counters and gauges as
+    single samples, histograms with cumulative [_bucket{le=...}] plus
+    [_sum]/[_count], sketches as summaries with [quantile] labels.
+    Dots in names become underscores. *)
+
 val reset : unit -> unit
-(** Drop every registered instrument (tests).  Instruments already held
-    by callers keep working but are no longer reported. *)
+(** Drop every registered instrument (tests).  Handles created before
+    the reset stay valid: their next use re-registers the name (or
+    adopts whatever instrument was registered under it since), starting
+    from zero. *)

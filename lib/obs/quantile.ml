@@ -1,0 +1,211 @@
+(* DDSketch-style log-bucket quantile sketch over a fixed key range.
+
+   Bucket key of a value v is floor (log v / log gamma); the bucket's
+   representative value is the log-midpoint 2*gamma^k / (gamma + 1),
+   which is within a factor (1 +/- alpha) of every value in the bucket.
+   Keys are clamped to a fixed window covering [1e-9, 1e9]; values at or
+   below the bottom of the window (including zero, negatives and NaN)
+   land in a dedicated underflow bucket that ranks below everything. *)
+
+type t = {
+  q_alpha : float;
+  log_gamma : float;
+  key_min : int;  (* key of buckets.(0) *)
+  buckets : int Atomic.t array;
+  under : int Atomic.t;
+  q_count : int Atomic.t;
+  q_sum : float Atomic.t;
+  q_max : float Atomic.t;
+  q_min : float Atomic.t;
+}
+
+let default_alpha = 0.02
+let range_lo = 1e-9
+let range_hi = 1e9
+
+let key_of ~log_gamma v = int_of_float (Float.floor (Float.log v /. log_gamma))
+
+let create ?(alpha = default_alpha) () =
+  if not (Float.is_finite alpha) || alpha <= 0.0 || alpha >= 0.5 then
+    invalid_arg "Quantile.create: alpha must be in (0, 0.5)";
+  let log_gamma = Float.log ((1.0 +. alpha) /. (1.0 -. alpha)) in
+  let key_min = key_of ~log_gamma range_lo in
+  let key_max = key_of ~log_gamma range_hi + 1 in
+  {
+    q_alpha = alpha;
+    log_gamma;
+    key_min;
+    buckets = Array.init (key_max - key_min + 1) (fun _ -> Atomic.make 0);
+    under = Atomic.make 0;
+    q_count = Atomic.make 0;
+    q_sum = Atomic.make 0.0;
+    q_max = Atomic.make neg_infinity;
+    q_min = Atomic.make infinity;
+  }
+
+let alpha t = t.q_alpha
+let count t = Atomic.get t.q_count
+let sum t = Atomic.get t.q_sum
+let max_value t = Atomic.get t.q_max
+let min_value t = Atomic.get t.q_min
+
+let cas_update cell better v =
+  let rec go () =
+    let old = Atomic.get cell in
+    if better v old && not (Atomic.compare_and_set cell old v) then go ()
+  in
+  go ()
+
+let add t v =
+  (if Float.is_finite v && v > range_lo then begin
+     let i = key_of ~log_gamma:t.log_gamma v - t.key_min in
+     let i = if i < 0 then 0 else min i (Array.length t.buckets - 1) in
+     Atomic.incr t.buckets.(i)
+   end
+   else Atomic.incr t.under);
+  Atomic.incr t.q_count;
+  if Float.is_finite v then begin
+    let rec cas_add () =
+      let old = Atomic.get t.q_sum in
+      if not (Atomic.compare_and_set t.q_sum old (old +. v)) then cas_add ()
+    in
+    cas_add ();
+    cas_update t.q_max (fun a b -> a > b) v;
+    cas_update t.q_min (fun a b -> a < b) v
+  end
+
+let clear t =
+  Array.iter (fun b -> Atomic.set b 0) t.buckets;
+  Atomic.set t.under 0;
+  Atomic.set t.q_count 0;
+  Atomic.set t.q_sum 0.0;
+  Atomic.set t.q_max neg_infinity;
+  Atomic.set t.q_min infinity
+
+let merge_into dst src =
+  if dst.q_alpha <> src.q_alpha then
+    invalid_arg "Quantile.merge_into: alpha mismatch";
+  Array.iteri
+    (fun i b ->
+      let n = Atomic.get b in
+      if n > 0 then ignore (Atomic.fetch_and_add dst.buckets.(i) n))
+    src.buckets;
+  let u = Atomic.get src.under in
+  if u > 0 then ignore (Atomic.fetch_and_add dst.under u);
+  ignore (Atomic.fetch_and_add dst.q_count (Atomic.get src.q_count));
+  let rec cas_add v =
+    let old = Atomic.get dst.q_sum in
+    if not (Atomic.compare_and_set dst.q_sum old (old +. v)) then cas_add v
+  in
+  cas_add (Atomic.get src.q_sum);
+  cas_update dst.q_max (fun a b -> a > b) (Atomic.get src.q_max);
+  cas_update dst.q_min (fun a b -> a < b) (Atomic.get src.q_min)
+
+let copy t =
+  let fresh = create ~alpha:t.q_alpha () in
+  merge_into fresh t;
+  fresh
+
+(* Representative value of bucket key k: the log-midpoint of its range,
+   2 * gamma^k / (gamma + 1) = exp (k * log_gamma) * (2 / (gamma + 1)). *)
+let bucket_value t i =
+  let k = float_of_int (t.key_min + i) in
+  let gamma = Float.exp t.log_gamma in
+  Float.exp (k *. t.log_gamma) *. (2.0 *. gamma /. (gamma +. 1.0))
+
+let quantile t q =
+  let n = count t in
+  if n = 0 then Float.nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+    let est =
+      let cum = ref (Atomic.get t.under) in
+      if rank <= !cum then min_value t
+      else begin
+        let res = ref (max_value t) in
+        (try
+           Array.iteri
+             (fun i b ->
+               cum := !cum + Atomic.get b;
+               if rank <= !cum then begin
+                 res := bucket_value t i;
+                 raise Exit
+               end)
+             t.buckets
+         with Exit -> ());
+        !res
+      end
+    in
+    (* Clamping into the observed range never hurts: the true quantile
+       lies inside it, so pulling the estimate in reduces error. *)
+    Float.max (min_value t) (Float.min est (max_value t))
+  end
+
+let to_json t =
+  let pairs = ref [] in
+  Array.iteri
+    (fun i b ->
+      let n = Atomic.get b in
+      if n > 0 then
+        pairs := Json.List [ Json.Int (t.key_min + i); Json.Int n ] :: !pairs)
+    t.buckets;
+  Json.Obj
+    [
+      ("alpha", Json.Float t.q_alpha);
+      ("buckets", Json.List (List.rev !pairs));
+      ("count", Json.Int (count t));
+      ("max", Json.Float (max_value t));
+      ("min", Json.Float (min_value t));
+      ("sum", Json.Float (sum t));
+      ("under", Json.Int (Atomic.get t.under));
+    ]
+
+let of_json j =
+  let fail () = invalid_arg "Quantile.of_json: malformed sketch" in
+  let num field =
+    match Json.member field j with
+    | Some v -> ( match Json.to_float_opt v with Some f -> f | None -> fail ())
+    | None -> fail ()
+  in
+  let int_field field =
+    match Json.member field j with
+    | Some v -> ( match Json.to_int_opt v with Some i -> i | None -> fail ())
+    | None -> fail ()
+  in
+  let t = create ~alpha:(num "alpha") () in
+  (match Json.member "buckets" j with
+  | Some (Json.List kvs) ->
+      List.iter
+        (function
+          | Json.List [ k; n ] -> (
+              match (Json.to_int_opt k, Json.to_int_opt n) with
+              | Some k, Some n when n >= 0 ->
+                  let i = k - t.key_min in
+                  if i < 0 || i >= Array.length t.buckets then fail ();
+                  Atomic.set t.buckets.(i) n
+              | _ -> fail ())
+          | _ -> fail ())
+        kvs
+  | _ -> fail ());
+  Atomic.set t.under (int_field "under");
+  Atomic.set t.q_count (int_field "count");
+  Atomic.set t.q_sum (num "sum");
+  Atomic.set t.q_max (num "max");
+  Atomic.set t.q_min (num "min");
+  t
+
+let summary_json t =
+  let n = count t in
+  if n = 0 then Json.Obj [ ("count", Json.Int 0); ("sum", Json.Float 0.0) ]
+  else
+    Json.Obj
+      [
+        ("count", Json.Int n);
+        ("max", Json.Float (max_value t));
+        ("min", Json.Float (min_value t));
+        ("p50", Json.Float (quantile t 0.5));
+        ("p90", Json.Float (quantile t 0.9));
+        ("p99", Json.Float (quantile t 0.99));
+        ("sum", Json.Float (sum t));
+      ]

@@ -1,0 +1,68 @@
+(** Mergeable fixed-size quantile sketch (DDSketch-style).
+
+    Values are binned into logarithmic buckets: value [v] lands in
+    bucket [floor (log v / log gamma)] with [gamma = (1+alpha)/(1-alpha)],
+    which bounds the {e relative} error of any reported quantile by
+    [alpha].  The bucket array is fixed at creation (covering
+    [1e-9 .. 1e9], with an underflow bucket for anything at or below the
+    bottom and a clamp into the top bucket above the top), so a sketch
+    never grows and adding a value is O(1) with no allocation.
+
+    All state is atomic: [add] is safe from any domain, and two sketches
+    built on different domains can be {!merge_into}-d afterwards.
+    Because buckets hold integer counts, merging is exactly commutative
+    and associative on everything except the float [sum] (whose
+    round-off depends on addition order); {!quantile}, {!count},
+    {!max_value} and {!min_value} of a merged sketch are therefore
+    schedule-free — the property the jobs-invariance tests rely on. *)
+
+type t
+
+val default_alpha : float
+(** 0.02 — quantiles within 2% relative error, ~1k buckets. *)
+
+val create : ?alpha:float -> unit -> t
+(** A fresh empty sketch.  [alpha] must be in (0, 0.5). *)
+
+val copy : t -> t
+(** Snapshot the current contents into an independent sketch. *)
+
+val add : t -> float -> unit
+(** Record one value.  Non-finite and non-positive values count toward
+    {!count} via the underflow bucket (they rank below everything). *)
+
+val count : t -> int
+val sum : t -> float
+
+val max_value : t -> float
+(** Exact maximum of added values; [neg_infinity] when empty. *)
+
+val min_value : t -> float
+(** Exact minimum of added values; [infinity] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0,1]: a value whose rank error follows
+    the bucket scheme, clamped into [[min_value t, max_value t]].
+    [nan] when the sketch is empty. *)
+
+val alpha : t -> float
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src] adds [src]'s contents into [dst].  Both must
+    share the same [alpha].  [src] is read atomically bucket-by-bucket
+    but not locked: merge sketches that are no longer being written. *)
+
+val clear : t -> unit
+(** Forget everything (tests). *)
+
+val to_json : t -> Json.t
+(** Compact encoding (only non-empty buckets). *)
+
+val of_json : Json.t -> t
+(** Inverse of {!to_json}; raises [Invalid_argument] on malformed
+    input. *)
+
+val summary_json : t -> Json.t
+(** Small fixed-shape object for snapshots:
+    [{count; sum; min; max; p50; p90; p99}] (min/max/quantiles omitted
+    when empty).  Keys sorted. *)

@@ -1,0 +1,200 @@
+module Json = Altune_obs.Json
+
+(* --- Record accessors -------------------------------------------------- *)
+
+let mem path j =
+  List.fold_left (fun j k -> Option.bind j (fun j -> Json.member k j)) (Some j) path
+
+let fnum path j = Option.bind (mem path j) Json.to_float_opt
+let fnum_or d path j = Option.value ~default:d (fnum path j)
+
+let is_snapshot j =
+  match Option.bind (Json.member "ev" j) Json.to_string_opt with
+  | Some "snapshot" -> true
+  | _ -> false
+
+(* Usable records in time order: uptime is monotone within one daemon
+   run; a rotation set loaded oldest-first is already ordered, so a
+   stable sort only repairs accidental file mixing. *)
+let snapshots records =
+  List.filter is_snapshot records
+  |> List.stable_sort
+       (fun a b -> compare (fnum_or 0.0 [ "uptime_s" ] a) (fnum_or 0.0 [ "uptime_s" ] b))
+
+let uptime = fnum_or 0.0 [ "uptime_s" ]
+
+(* --- Tripwires --------------------------------------------------------- *)
+
+let tripwires records =
+  let snaps = snapshots records in
+  let rec pairs acc = function
+    | a :: (b :: _ as rest) ->
+        let depth_grows =
+          fnum_or 0.0 [ "queued" ] b > fnum_or 0.0 [ "queued" ] a
+        in
+        let hit_rate_decays =
+          fnum_or 1.0 [ "memo"; "hit_rate" ] b
+          < fnum_or 1.0 [ "memo"; "hit_rate" ] a
+        in
+        let acc =
+          if depth_grows && hit_rate_decays then (uptime a, uptime b) :: acc
+          else acc
+        in
+        pairs acc rest
+    | _ -> List.rev acc
+  in
+  let merge intervals =
+    List.fold_left
+      (fun acc (x0, x1) ->
+        match acc with
+        | (p0, p1) :: rest when x0 <= p1 -> (p0, Float.max p1 x1) :: rest
+        | _ -> (x0, x1) :: acc)
+      [] intervals
+    |> List.rev
+  in
+  merge (pairs [] snaps)
+
+(* --- Series extraction ------------------------------------------------- *)
+
+let series snaps ~y =
+  List.filter_map
+    (fun s -> Option.map (fun v -> (uptime s, v)) (y s))
+    snaps
+
+(* Per-interval rate of a cumulative field (e.g. requests/s). *)
+let rate_series snaps ~y =
+  let rec go acc = function
+    | a :: (b :: _ as rest) ->
+        let dt = uptime b -. uptime a in
+        let acc =
+          if dt > 0.0 then (uptime b, (y b -. y a) /. dt) :: acc else acc
+        in
+        go acc rest
+    | _ -> List.rev acc
+  in
+  go [] snaps
+
+let sketch_ms which q s = Option.map (fun v -> v *. 1000.0) (fnum [ "sketches"; which; q ] s)
+
+(* --- Page -------------------------------------------------------------- *)
+
+let fmt_num v =
+  if Float.is_integer v && Float.abs v < 1e7 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4g" v
+
+let render ?(title = "altune ops dashboard") records =
+  let snaps = snapshots records in
+  let bands =
+    List.map (fun (x0, x1) -> (x0, x1, "overload")) (tripwires records)
+  in
+  let chart ~caption ~ylabel series_list =
+    Html.figure ~caption
+      (Svg.line_chart ~bands ~xlabel:"uptime (s)" ~ylabel series_list)
+  in
+  let latency =
+    chart ~caption:"request latency quantiles" ~ylabel:"latency (ms)"
+      [
+        ("wire p50", series snaps ~y:(sketch_ms "wire" "p50"));
+        ("wire p90", series snaps ~y:(sketch_ms "wire" "p90"));
+        ("wire p99", series snaps ~y:(sketch_ms "wire" "p99"));
+        ("step p99", series snaps ~y:(sketch_ms "step" "p99"));
+      ]
+  in
+  let throughput =
+    chart ~caption:"throughput (per-interval rates)" ~ylabel:"per second"
+      [
+        ( "requests/s",
+          rate_series snaps ~y:(fnum_or 0.0 [ "requests" ]) );
+        ("sessions done/s", rate_series snaps ~y:(fnum_or 0.0 [ "done" ]));
+      ]
+  in
+  let load =
+    chart ~caption:"admission load" ~ylabel:"sessions"
+      [
+        ("live", series snaps ~y:(fnum [ "live" ]));
+        ("queued", series snaps ~y:(fnum [ "queued" ]));
+      ]
+  in
+  let memo =
+    chart ~caption:"shared-memo hit rate" ~ylabel:"hit rate (%)"
+      [
+        ( "hit rate",
+          series snaps
+            ~y:(fun s ->
+              Option.map (fun v -> v *. 100.0) (fnum [ "memo"; "hit_rate" ] s))
+        );
+      ]
+  in
+  let gc =
+    chart ~caption:"GC activity between snapshots" ~ylabel:"per interval"
+      [
+        ( "minor words (M)",
+          series snaps
+            ~y:(fun s ->
+              Option.map (fun v -> v /. 1e6) (fnum [ "gc"; "minor_words" ] s))
+        );
+        ( "major collections",
+          series snaps ~y:(fnum [ "gc"; "major_collections" ]) );
+        ( "heap (Mwords)",
+          series snaps
+            ~y:(fun s ->
+              Option.map (fun v -> v /. 1e6) (fnum [ "gc"; "heap_words" ] s)) );
+      ]
+  in
+  let summary_rows =
+    match (snaps, List.rev snaps) with
+    | first :: _, last :: _ ->
+        let span = uptime last -. uptime first in
+        [
+          [ "snapshot records"; string_of_int (List.length snaps) ];
+          [ "time span (s)"; fmt_num span ];
+          [ "requests"; fmt_num (fnum_or 0.0 [ "requests" ] last) ];
+          [ "error replies"; fmt_num (fnum_or 0.0 [ "errors" ] last) ];
+          [ "sessions done"; fmt_num (fnum_or 0.0 [ "done" ] last) ];
+          [
+            "memo hit rate";
+            Printf.sprintf "%.1f%%"
+              (100.0 *. fnum_or 0.0 [ "memo"; "hit_rate" ] last);
+          ];
+          [
+            "wire p99 (ms)";
+            fmt_num (Option.value ~default:0.0 (sketch_ms "wire" "p99" last));
+          ];
+          [
+            "peak queue depth";
+            fmt_num
+              (List.fold_left
+                 (fun m s -> Float.max m (fnum_or 0.0 [ "queued" ] s))
+                 0.0 snaps);
+          ];
+          [ "overload intervals"; string_of_int (List.length bands) ];
+        ]
+    | _ -> [ [ "snapshot records"; "0" ] ]
+  in
+  let subtitle =
+    match snaps with
+    | [] -> "no snapshot records"
+    | s :: _ ->
+        let field k =
+          Option.value ~default:"?"
+            (Option.bind (Json.member k s) Json.to_string_opt)
+        in
+        let jobs =
+          Option.value ~default:0
+            (Option.bind (Json.member "jobs" s) Json.to_int_opt)
+        in
+        Printf.sprintf "%s · %d jobs · git %s" (field "hostname") jobs
+          (field "git_rev")
+  in
+  Html.page ~title ~subtitle
+    (Html.section ~title:"Summary"
+       (Html.table ~headers:[ "quantity"; "value" ] ~rows:summary_rows)
+    ^ Html.section ~title:"Latency"
+        ~intro:
+          "Quantiles from the daemon's DDSketch-style latency sketches; \
+           shaded bands mark overload tripwires (queue growing while the \
+           memo hit rate decays)."
+        (Html.row [ latency ])
+    ^ Html.section ~title:"Load" (Html.row [ throughput; load ])
+    ^ Html.section ~title:"Sharing" (Html.row [ memo ])
+    ^ Html.section ~title:"Runtime" (Html.row [ gc ]))

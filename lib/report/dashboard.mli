@@ -1,0 +1,21 @@
+(** The ops dashboard: one self-contained HTML page rendered from the
+    daemon's snapshot time series ({!Altune_serve.Server.snapshot}
+    records, loaded with {!Altune_obs.Snapshot.load_all}).
+
+    Charts the latency quantiles (wire and learner-step p50/p90/p99),
+    request and session throughput, live/queued load, shared-memo hit
+    rate, and GC activity against daemon uptime, all through
+    {!Svg.line_chart}.  Overload tripwires — intervals where the queue
+    deepens while the memo hit rate decays, i.e. load is arriving
+    faster than sharing can absorb it — are detected from the records
+    and drawn as annotated bands across every chart. *)
+
+val tripwires : Altune_obs.Json.t list -> (float * float) list
+(** Uptime intervals (seconds) flagged as overloaded: consecutive
+    snapshots where queue depth grows and memo hit rate falls.
+    Adjacent intervals are merged.  Exposed for tests. *)
+
+val render : ?title:string -> Altune_obs.Json.t list -> string
+(** The complete HTML page.  Records that are not snapshot records
+    (no ["ev":"snapshot"]) are ignored; fewer than two usable records
+    still produce a page, with the charts degenerating gracefully. *)

@@ -67,6 +67,8 @@ svg .line.s3 { stroke: var(--s3); } svg .dot.s3 { fill: var(--s3); }
 svg .line.s4 { stroke: var(--s4); } svg .dot.s4 { fill: var(--s4); }
 svg .line.s5 { stroke: var(--s5); } svg .dot.s5 { fill: var(--s5); }
 svg .bar { fill: var(--seq); }
+svg .band { fill: var(--s1); opacity: 0.18; }
+svg .band-label { fill: var(--s1); font: 10px system-ui, sans-serif; }
 |css}
 
 let page ~title ~subtitle body =

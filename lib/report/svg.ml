@@ -77,8 +77,8 @@ let plot_box l =
     float_of_int l.w -. l.right -. l.left,
     float_of_int l.h -. l.bottom -. l.top )
 
-let line_chart ?(width = 560) ?(height = 300) ?(logx = false) ~xlabel ~ylabel
-    series =
+let line_chart ?(width = 560) ?(height = 300) ?(logx = false) ?(bands = [])
+    ~xlabel ~ylabel series =
   let series =
     List.map
       (fun (name, pts) ->
@@ -130,6 +130,35 @@ let line_chart ?(width = 560) ?(height = 300) ?(logx = false) ~xlabel ~ylabel
       let xmax = if xmax > xmin then xmax else xmin +. 1.0 in
       let sx x = bx +. ((tx x -. xmin) /. (xmax -. xmin) *. bw) in
       let sy y = by +. bh -. ((y -. ymin) /. (ymax -. ymin) *. bh) in
+      (* Annotated bands (e.g. overload tripwires) under everything
+         else, clipped to the plot box; zero-width ranges still get a
+         visible sliver. *)
+      List.iter
+        (fun (x0, x1, label) ->
+          let x0 = Float.min x0 x1 and x1 = Float.max x0 x1 in
+          if
+            Float.is_finite x0 && Float.is_finite x1
+            && ((not logx) || x0 > 0.0)
+          then begin
+            let px0 = Float.max bx (sx x0) in
+            let px1 = Float.min (bx +. bw) (sx x1) in
+            if px1 >= px0 then begin
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "<rect class=\"band\" x=\"%s\" y=\"%s\" width=\"%s\" \
+                    height=\"%s\"><title>%s</title></rect>\n"
+                   (px px0) (px by)
+                   (px (Float.max (px1 -. px0) 2.0))
+                   (px bh) (xml_escape label));
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "<text class=\"band-label\" x=\"%s\" y=\"%s\">%s</text>\n"
+                   (px (px0 +. 2.0))
+                   (px (by +. 10.0))
+                   (xml_escape label))
+            end
+          end)
+        bands;
       (* Hairline grid + tick labels. *)
       let xticks = if logx then log_ticks xmin xmax else nice_ticks xmin xmax in
       let yticks = nice_ticks ymin ymax in

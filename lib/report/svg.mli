@@ -11,6 +11,7 @@ val line_chart :
   ?width:int ->
   ?height:int ->
   ?logx:bool ->
+  ?bands:(float * float * string) list ->
   xlabel:string ->
   ylabel:string ->
   (string * (float * float) list) list ->
@@ -19,7 +20,12 @@ val line_chart :
     legend (for two or more series) and a [<title>] tooltip per point.
     Non-finite points (and non-positive x under [~logx:true]) are
     dropped.  At most six series are drawn — the categorical palette has
-    six slots — and a visible note counts any omitted ones. *)
+    six slots — and a visible note counts any omitted ones.
+
+    [bands] are annotated x-ranges [(x0, x1, label)] (data coordinates)
+    drawn as translucent rectangles behind the data — the dashboard's
+    overload tripwires.  Bands outside the data's x-range are clipped;
+    with no series nothing is drawn. *)
 
 val bar_chart :
   ?width:int -> xlabel:string -> (string * float) list -> string

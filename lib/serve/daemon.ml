@@ -1,13 +1,40 @@
 let make_stop () = Atomic.make false
+let make_flag = make_stop
 
-let install_signal_handlers stop =
+let install_signal_handlers ?usr1 stop =
   let handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
   (* SIGINT may be unavailable in exotic environments; serve what we can. *)
   (try Sys.set_signal Sys.sigint handler with Invalid_argument _ | Sys_error _ -> ());
-  try Sys.set_signal Sys.sigterm handler with Invalid_argument _ | Sys_error _ -> ()
+  (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ | Sys_error _ -> ());
+  match usr1 with
+  | None -> ()
+  | Some flag -> (
+      let handler = Sys.Signal_handle (fun _ -> Atomic.set flag true) in
+      try Sys.set_signal Sys.sigusr1 handler
+      with Invalid_argument _ | Sys_error _ -> ())
 
 let finish server =
   if not (Server.stopped server) then ignore (Server.graceful_stop server)
+
+(* The telemetry pump: called between requests and on idle polls.  It
+   drains a pending SIGUSR1 into a flight-recorder dump and appends a
+   record to the snapshot series every [snapshot_every] seconds.  Both
+   are pure side channels — nothing is written to the protocol stream,
+   so transcripts stay byte-identical with the pump running. *)
+let pump ?usr1 ?(flight_dump = "flight-dump.jsonl") server =
+  let last = ref (Unix.gettimeofday ()) in
+  fun () ->
+    (match usr1 with
+    | Some flag when Atomic.exchange flag false ->
+        Server.flight_dump_to server flight_dump
+    | _ -> ());
+    if Server.snapshots_on server && not (Server.stopped server) then begin
+      let now = Unix.gettimeofday () in
+      if now -. !last >= Server.snapshot_every server then begin
+        last := now;
+        ignore (Server.snapshot server)
+      end
+    end
 
 let respond server output line =
   let line = String.trim line in
@@ -17,7 +44,9 @@ let respond server output line =
     flush output
   end
 
-let serve_channel ?(stop = make_stop ()) server ~input ~output =
+let serve_channel ?(stop = make_stop ()) ?usr1 ?flight_dump server ~input
+    ~output =
+  let tick = pump ?usr1 ?flight_dump server in
   let rec loop () =
     if Atomic.get stop || Server.stopped server then ()
     else
@@ -25,21 +54,23 @@ let serve_channel ?(stop = make_stop ()) server ~input ~output =
       | exception End_of_file -> ()
       | line ->
           respond server output line;
+          tick ();
           loop ()
   in
   loop ();
   finish server
 
-let serve_script server ~path ~output =
+let serve_script ?usr1 ?flight_dump server ~path ~output =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> serve_channel server ~input:ic ~output)
+    (fun () -> serve_channel ?usr1 ?flight_dump server ~input:ic ~output)
 
 (* Poll-driven line loop over a raw fd, so a pending signal is noticed
    within [poll] seconds even when no request is in flight (buffered
-   [input_line] would block until the next byte). *)
-let serve_fd ~stop ~poll server fd output =
+   [input_line] would block until the next byte).  [tick] runs once per
+   poll round — the pump's cadence floor is the poll interval. *)
+let serve_fd ~stop ~poll ~tick server fd output =
   let pending = Queue.create () in
   let acc = Buffer.create 256 in
   let chunk = Bytes.create 4096 in
@@ -61,6 +92,7 @@ let serve_fd ~stop ~poll server fd output =
     if Atomic.get stop || Server.stopped server then ()
     else if not (Queue.is_empty pending) then begin
       respond server output (Queue.pop pending);
+      tick ();
       loop ()
     end
     else if !eof then ()
@@ -69,16 +101,19 @@ let serve_fd ~stop ~poll server fd output =
       | [], _, _ -> ()
       | _ -> feed ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      tick ();
       loop ()
     end
   in
   loop ()
 
-let serve_stdio ?(stop = make_stop ()) server =
-  serve_fd ~stop ~poll:0.2 server Unix.stdin stdout;
+let serve_stdio ?(stop = make_stop ()) ?usr1 ?flight_dump server =
+  let tick = pump ?usr1 ?flight_dump server in
+  serve_fd ~stop ~poll:0.2 ~tick server Unix.stdin stdout;
   finish server
 
-let serve_socket ?(stop = make_stop ()) server ~path =
+let serve_socket ?(stop = make_stop ()) ?usr1 ?flight_dump server ~path =
+  let tick = pump ?usr1 ?flight_dump server in
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -102,9 +137,11 @@ let serve_socket ?(stop = make_stop ()) server ~path =
                     ~finally:(fun () ->
                       (try flush output with Sys_error _ -> ());
                       try Unix.close client with Unix.Unix_error _ -> ())
-                    (fun () -> serve_fd ~stop ~poll:0.2 server client output)
+                    (fun () ->
+                      serve_fd ~stop ~poll:0.2 ~tick server client output)
               | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          tick ();
           accept_loop ()
         end
       in

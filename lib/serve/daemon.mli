@@ -7,33 +7,62 @@
     checkpointable live session and shutting the pool down — before the
     loop returns, so the caller can flush observability sinks and exit
     0.  A session checkpointed this way resumes with [altune resume] to
-    the same bytes the uninterrupted standalone run would print. *)
+    the same bytes the uninterrupted standalone run would print.
+
+    {b Telemetry pump.}  Every loop also drives the server's live
+    telemetry between requests (and, for the fd-based loops, on idle
+    polls): a snapshot record is appended to the configured series every
+    {!Server.snapshot_every} seconds, and a pending SIGUSR1 (the [usr1]
+    flag) dumps the flight recorder to [flight_dump].  Neither writes a
+    byte to the protocol stream. *)
 
 val make_stop : unit -> bool Atomic.t
 (** A fresh stop flag, initially false. *)
 
-val install_signal_handlers : bool Atomic.t -> unit
-(** Route SIGINT and SIGTERM to setting the flag.  The serve loops poll
-    it between requests; nothing extra is written to the protocol
-    stream on a signal. *)
+val make_flag : unit -> bool Atomic.t
+(** A fresh signal flag (e.g. for SIGUSR1), initially false. *)
 
-val serve_script : Server.t -> path:string -> output:out_channel -> unit
+val install_signal_handlers : ?usr1:bool Atomic.t -> bool Atomic.t -> unit
+(** Route SIGINT and SIGTERM to setting the stop flag, and — when
+    [usr1] is given — SIGUSR1 to setting that flag.  The serve loops
+    poll both between requests; nothing extra is written to the
+    protocol stream on a signal. *)
+
+val serve_script :
+  ?usr1:bool Atomic.t ->
+  ?flight_dump:string ->
+  Server.t ->
+  path:string ->
+  output:out_channel ->
+  unit
 (** Feed the request lines of the file at [path] to the server,
     writing one response line per request to [output] (flushed per
     line).  Blank lines are skipped.  Stops early after a [shutdown]
     request.  Deterministic: same script, same server config => same
-    output bytes, at any [jobs]. *)
+    output bytes, at any [jobs] — snapshots and flight dumps go to
+    their own files, never to [output]. *)
 
 val serve_channel :
-  ?stop:bool Atomic.t -> Server.t -> input:in_channel -> output:out_channel -> unit
+  ?stop:bool Atomic.t ->
+  ?usr1:bool Atomic.t ->
+  ?flight_dump:string ->
+  Server.t ->
+  input:in_channel ->
+  output:out_channel ->
+  unit
 (** Blocking request/response loop over arbitrary channels (tests, or
-    callers managing their own transport). *)
+    callers managing their own transport).  The pump runs after each
+    request, not on idle (blocking reads can't poll). *)
 
-val serve_stdio : ?stop:bool Atomic.t -> Server.t -> unit
+val serve_stdio :
+  ?stop:bool Atomic.t -> ?usr1:bool Atomic.t -> ?flight_dump:string ->
+  Server.t -> unit
 (** Serve stdin/stdout, polling [stop] between reads so signals
     interrupt a quiet connection promptly. *)
 
-val serve_socket : ?stop:bool Atomic.t -> Server.t -> path:string -> unit
+val serve_socket :
+  ?stop:bool Atomic.t -> ?usr1:bool Atomic.t -> ?flight_dump:string ->
+  Server.t -> path:string -> unit
 (** Listen on a Unix domain socket at [path] (replacing any stale
     socket file), serving one client connection at a time; sessions
     persist across connections.  Returns once [stop] is set or a client

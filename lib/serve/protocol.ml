@@ -19,6 +19,8 @@ type request =
   | Checkpoint of { session : string; path : string option }
   | Close of { session : string }
   | Stats
+  | Stats_full
+  | Prom
   | Shutdown
 
 type session_state = Queued | Live | Done | Closed
@@ -48,6 +50,8 @@ type server_stats = {
   s_queued : int;
   s_done : int;
   s_closed : int;
+  s_max_live : int;
+  s_max_queue : int;
   s_memo : memo_stats;
 }
 
@@ -55,6 +59,8 @@ type reply =
   | R_session of session_view
   | R_tick of session_view list
   | R_stats of server_stats
+  | R_stats_full of Json.t
+  | R_prom of string
   | R_checkpoint of { session : string; path : string; iteration : int }
   | R_close of { session : string; admitted : string list }
   | R_shutdown of { checkpointed : (string * string) list }
@@ -90,6 +96,8 @@ let request_to_json ?id req =
     | Close { session } ->
         [ ("req", Json.String "close"); ("session", Json.String session) ]
     | Stats -> [ ("req", Json.String "stats") ]
+    | Stats_full -> [ ("req", Json.String "stats_full") ]
+    | Prom -> [ ("req", Json.String "prom") ]
     | Shutdown -> [ ("req", Json.String "shutdown") ]
   in
   Json.Obj (id_field @ fields)
@@ -173,6 +181,8 @@ let request_of_json j =
             let* session = str_field j "session" in
             Ok (Close { session })
         | "stats" -> Ok Stats
+        | "stats_full" -> Ok Stats_full
+        | "prom" -> Ok Prom
         | "shutdown" -> Ok Shutdown
         | other -> Error (Printf.sprintf "unknown request %S" other)
       in
@@ -231,7 +241,11 @@ let reply_fields = function
       [ ("reply", Json.String "stats"); ("opened", Json.Int s.s_opened);
         ("live", Json.Int s.s_live); ("queued", Json.Int s.s_queued);
         ("done", Json.Int s.s_done); ("closed", Json.Int s.s_closed);
+        ("max_live", Json.Int s.s_max_live);
+        ("max_queue", Json.Int s.s_max_queue);
         ("memo", memo_to_json s.s_memo) ]
+  | R_stats_full data -> [ ("reply", Json.String "stats_full"); ("data", data) ]
+  | R_prom text -> [ ("reply", Json.String "prom"); ("text", Json.String text) ]
   | R_checkpoint { session; path; iteration } ->
       [ ("reply", Json.String "checkpoint"); ("session", Json.String session);
         ("path", Json.String path); ("iteration", Json.Int iteration) ]
@@ -329,12 +343,32 @@ let reply_of_json j =
       let* s_queued = int_field j "queued" in
       let* s_done = int_field j "done" in
       let* s_closed = int_field j "closed" in
+      let* s_max_live = int_field j "max_live" in
+      let* s_max_queue = int_field j "max_queue" in
       let* s_memo =
         match Json.member "memo" j with
         | Some m -> memo_of_json m
         | None -> Error "missing \"memo\" field"
       in
-      Ok (R_stats { s_opened; s_live; s_queued; s_done; s_closed; s_memo })
+      Ok
+        (R_stats
+           {
+             s_opened;
+             s_live;
+             s_queued;
+             s_done;
+             s_closed;
+             s_max_live;
+             s_max_queue;
+             s_memo;
+           })
+  | "stats_full" -> (
+      match Json.member "data" j with
+      | Some data -> Ok (R_stats_full data)
+      | None -> Error "missing \"data\" field")
+  | "prom" ->
+      let* text = str_field j "text" in
+      Ok (R_prom text)
   | "checkpoint" ->
       let* session = str_field j "session" in
       let* path = str_field j "path" in

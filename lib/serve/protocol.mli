@@ -36,6 +36,16 @@ type request =
   | Checkpoint of { session : string; path : string option }
   | Close of { session : string }
   | Stats
+  | Stats_full
+      (** Full telemetry scrape: server stats, metrics snapshot
+          (including latency sketches), GC and pool state as one JSON
+          payload.  Unlike every other reply this carries wall-clock
+          quantities — keep it out of transcripts that are diffed
+          across job counts. *)
+  | Prom
+      (** Prometheus text exposition ({!Altune_obs.Metrics.render_prom})
+          as a single string reply — scrape the daemon over the socket
+          with no extra listener. *)
   | Shutdown
 
 type session_state = Queued | Live | Done | Closed
@@ -64,10 +74,12 @@ type memo_stats = {
 
 type server_stats = {
   s_opened : int;  (** Sessions admitted or queued since startup. *)
-  s_live : int;
-  s_queued : int;
+  s_live : int;  (** Currently live (a gauge, not a cumulative count). *)
+  s_queued : int;  (** Current queue depth. *)
   s_done : int;
   s_closed : int;
+  s_max_live : int;  (** Live-session capacity — [s_live]'s ceiling. *)
+  s_max_queue : int;  (** Queue capacity — [s_queued]'s ceiling. *)
   s_memo : memo_stats;
 }
 
@@ -75,6 +87,8 @@ type reply =
   | R_session of session_view
   | R_tick of session_view list  (** Stepped sessions, admission order. *)
   | R_stats of server_stats
+  | R_stats_full of Altune_obs.Json.t  (** Opaque telemetry payload. *)
+  | R_prom of string
   | R_checkpoint of { session : string; path : string; iteration : int }
   | R_close of { session : string; admitted : string list }
       (** [admitted]: sessions this close promoted from the queue. *)

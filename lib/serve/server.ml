@@ -4,6 +4,13 @@ module Scale = Altune_experiments.Scale
 module Fault = Altune_exec.Fault
 module Memo = Altune_exec.Memo
 module Pool = Altune_exec.Pool
+module Json = Altune_obs.Json
+module Metrics = Altune_obs.Metrics
+module Trace = Altune_obs.Trace
+module Quantile = Altune_obs.Quantile
+module Flight = Altune_obs.Flight
+module Snapshot = Altune_obs.Snapshot
+module Manifest = Altune_obs.Manifest
 
 type config = {
   jobs : int;
@@ -11,6 +18,10 @@ type config = {
   max_queue : int;
   budget_cap : float option;
   checkpoint_dir : string option;
+  snapshot_path : string option;
+  snapshot_every : float;
+  flight : Flight.t option;
+  ledger_path : string option;
 }
 
 let default_config =
@@ -20,7 +31,33 @@ let default_config =
     max_queue = 64;
     budget_cap = None;
     checkpoint_dir = None;
+    snapshot_path = None;
+    snapshot_every = 10.0;
+    flight = None;
+    ledger_path = None;
   }
+
+(* Live telemetry: latency sketches and load gauges registered in the
+   process-wide Metrics registry (so one scrape sees them next to the
+   pool's and memo's instruments), plus the snapshot pump's state.
+   None of it ever writes to the protocol stream — replies stay
+   byte-identical at any job count whether telemetry is on or off. *)
+type telemetry = {
+  wire : Metrics.sketch;  (* per-request handle_line latency, seconds *)
+  step : Metrics.sketch;  (* per-Session.step learner latency *)
+  queue_wait : Metrics.sketch;  (* open-queued -> promoted *)
+  memo_wait : Metrics.sketch;  (* shared-memo lookup latency *)
+  live_gauge : Metrics.gauge;
+  queue_gauge : Metrics.gauge;
+  requests : Metrics.counter;
+  errors : Metrics.counter;
+  started_ns : int64;
+  manifest : Manifest.t;
+  queued_at : (string, int64) Hashtbl.t;  (* session -> ns when queued *)
+  writer : Snapshot.writer option;
+  mutable snap_seq : int;
+  mutable last_gc : Gc.stat;
+}
 
 type t = {
   config : config;
@@ -37,6 +74,7 @@ type t = {
   mutable queue : string list;  (* FIFO of queued names, head first *)
   mutable opened : int;
   mutable stopped : bool;
+  tele : telemetry;
 }
 
 let create config =
@@ -54,6 +92,23 @@ let create config =
     queue = [];
     opened = 0;
     stopped = false;
+    tele =
+      {
+        wire = Metrics.sketch "serve.wire_seconds";
+        step = Metrics.sketch "serve.step_seconds";
+        queue_wait = Metrics.sketch "serve.queue_wait_seconds";
+        memo_wait = Metrics.sketch "serve.memo_wait_seconds";
+        live_gauge = Metrics.gauge "serve.sessions.live";
+        queue_gauge = Metrics.gauge "serve.queue.depth";
+        requests = Metrics.counter "serve.requests";
+        errors = Metrics.counter "serve.errors";
+        started_ns = Trace.now_ns ();
+        manifest = Manifest.capture ~jobs:config.jobs ();
+        queued_at = Hashtbl.create 64;
+        writer = Option.map Snapshot.create config.snapshot_path;
+        snap_seq = 0;
+        last_gc = Gc.quick_stat ();
+      };
   }
 
 let stopped t = t.stopped
@@ -74,11 +129,16 @@ let note_lookup t ~session_id key =
     (1 + Option.value ~default:0 (Hashtbl.find_opt per session_id));
   Mutex.unlock t.acc_lock
 
+let seconds_between t0 t1 = Int64.to_float (Int64.sub t1 t0) /. 1e9
+
 let share_for t ~session_id ~bench : Spapt.share =
  fun ~key compute ->
   let k = (bench, key) in
   note_lookup t ~session_id k;
-  Memo.find_or_compute t.memo k compute
+  let t0 = Trace.now_ns () in
+  let v = Memo.find_or_compute t.memo k compute in
+  Metrics.record t.tele.memo_wait (seconds_between t0 (Trace.now_ns ()));
+  v
 
 let memo_stats t =
   Mutex.lock t.acc_lock;
@@ -147,6 +207,12 @@ let promote t =
       | [] -> List.rev admitted
       | name :: rest ->
           t.queue <- rest;
+          (match Hashtbl.find_opt t.tele.queued_at name with
+          | Some t0 ->
+              Metrics.record t.tele.queue_wait
+                (seconds_between t0 (Trace.now_ns ()));
+              Hashtbl.remove t.tele.queued_at name
+          | None -> ());
           Session.admit (Hashtbl.find t.sessions name);
           go (name :: admitted)
   in
@@ -159,8 +225,15 @@ let stats t =
     s_queued = List.length t.queue;
     s_done = count_phase t Session.Done;
     s_closed = count_phase t Session.Closed;
+    s_max_live = t.config.max_live;
+    s_max_queue = t.config.max_queue;
     s_memo = memo_stats t;
   }
+
+let update_gauges t =
+  Metrics.set_gauge t.tele.live_gauge
+    (float_of_int (count_phase t Session.Live));
+  Metrics.set_gauge t.tele.queue_gauge (float_of_int (List.length t.queue))
 
 (* --- Open -------------------------------------------------------------- *)
 
@@ -238,7 +311,11 @@ let handle_open t (p : Protocol.open_params) =
               Hashtbl.replace t.sessions cfg.Session.name s;
               t.order <- cfg.Session.name :: t.order;
               if live < t.config.max_live then Session.admit s
-              else t.queue <- t.queue @ [ cfg.Session.name ];
+              else begin
+                t.queue <- t.queue @ [ cfg.Session.name ];
+                Hashtbl.replace t.tele.queued_at cfg.Session.name
+                  (Trace.now_ns ())
+              end;
               Ok (Protocol.R_session (view t s))
             end)
 
@@ -277,9 +354,185 @@ let handle_checkpoint t s ~path =
                  iteration;
                }))
 
+(* --- Telemetry: snapshots, full scrape, failure ledger ----------------- *)
+
+let sorted_obj fields =
+  Json.Obj (List.sort (fun (a, _) (b, _) -> String.compare a b) fields)
+
+let gc_json (g : Gc.stat) =
+  sorted_obj
+    [
+      ("compactions", Json.Int g.compactions);
+      ("heap_words", Json.Int g.heap_words);
+      ("major_collections", Json.Int g.major_collections);
+      ("major_words", Json.Float g.major_words);
+      ("minor_collections", Json.Int g.minor_collections);
+      ("minor_words", Json.Float g.minor_words);
+      ("promoted_words", Json.Float g.promoted_words);
+    ]
+
+let memo_json (m : Protocol.memo_stats) =
+  let hit_rate =
+    if m.m_lookups = 0 then 0.0
+    else float_of_int m.m_hits /. float_of_int m.m_lookups
+  in
+  sorted_obj
+    [
+      ("cross_hits", Json.Int m.m_cross_hits);
+      ("entries", Json.Int m.m_entries);
+      ("hit_rate", Json.Float hit_rate);
+      ("hits", Json.Int m.m_hits);
+      ("lookups", Json.Int m.m_lookups);
+      ("shared_keys", Json.Int m.m_shared_keys);
+    ]
+
+let sketch_summaries t =
+  sorted_obj
+    [
+      ("memo_wait", Quantile.summary_json (Metrics.sketch_data t.tele.memo_wait));
+      ("queue_wait", Quantile.summary_json (Metrics.sketch_data t.tele.queue_wait));
+      ("step", Quantile.summary_json (Metrics.sketch_data t.tele.step));
+      ("wire", Quantile.summary_json (Metrics.sketch_data t.tele.wire));
+    ]
+
+(* One record of the snapshot time series.  Every key is sorted at every
+   level, so two records differing only in load are textually comparable
+   — the snapshot determinism contract (DESIGN.md §10): the *shape* is a
+   pure function of the schema version, only the measured values vary. *)
+let snapshot_record t =
+  let s = stats t in
+  let now = Gc.quick_stat () in
+  let prev = t.tele.last_gc in
+  t.tele.last_gc <- now;
+  let seq = t.tele.snap_seq in
+  t.tele.snap_seq <- seq + 1;
+  let gc_delta =
+    sorted_obj
+      [
+        ("compactions", Json.Int (now.compactions - prev.compactions));
+        ("heap_words", Json.Int now.heap_words);
+        ( "major_collections",
+          Json.Int (now.major_collections - prev.major_collections) );
+        ("major_words", Json.Float (now.major_words -. prev.major_words));
+        ( "minor_collections",
+          Json.Int (now.minor_collections - prev.minor_collections) );
+        ("minor_words", Json.Float (now.minor_words -. prev.minor_words));
+        ("promoted_words", Json.Float (now.promoted_words -. prev.promoted_words));
+      ]
+  in
+  sorted_obj
+    ([
+       ("closed", Json.Int s.s_closed);
+       ("done", Json.Int s.s_done);
+       ("ev", Json.String "snapshot");
+       ("gc", gc_delta);
+       ("live", Json.Int s.s_live);
+       ("max_live", Json.Int s.s_max_live);
+       ("max_queue", Json.Int s.s_max_queue);
+       ("memo", memo_json s.s_memo);
+       ("opened", Json.Int s.s_opened);
+       ("pool_jobs", Json.Int t.config.jobs);
+       ("queued", Json.Int s.s_queued);
+       ("requests", Json.Int (Metrics.counter_value t.tele.requests));
+       ("errors", Json.Int (Metrics.counter_value t.tele.errors));
+       ("seq", Json.Int seq);
+       ("sketches", sketch_summaries t);
+       ("ts", Json.Float (Unix.gettimeofday ()));
+       ( "uptime_s",
+         Json.Float (seconds_between t.tele.started_ns (Trace.now_ns ())) );
+     ]
+    @ Manifest.fields t.tele.manifest)
+
+let snapshot t =
+  let record = snapshot_record t in
+  if not t.stopped then
+    Option.iter (fun w -> Snapshot.write w record) t.tele.writer;
+  record
+
+let snapshot_every t = t.config.snapshot_every
+let snapshots_on t = Option.is_some t.tele.writer
+
+let stats_full_json t =
+  sorted_obj
+    [
+      ("gc", gc_json (Gc.quick_stat ()));
+      ("metrics", Metrics.snapshot ());
+      ( "server",
+        let s = stats t in
+        sorted_obj
+          [
+            ("closed", Json.Int s.s_closed);
+            ("done", Json.Int s.s_done);
+            ("live", Json.Int s.s_live);
+            ("max_live", Json.Int s.s_max_live);
+            ("max_queue", Json.Int s.s_max_queue);
+            ("memo", memo_json s.s_memo);
+            ("opened", Json.Int s.s_opened);
+            ("pool_jobs", Json.Int t.config.jobs);
+            ("queued", Json.Int s.s_queued);
+          ] );
+      ( "uptime_s",
+        Json.Float (seconds_between t.tele.started_ns (Trace.now_ns ())) );
+    ]
+
+(* Append one failure record — the error, the request line that caused
+   it, and the flight recorder's retained spans — to the ledger file.
+   Best-effort: diagnostics must never take the server down. *)
+let ledger_append t ~line msg =
+  match t.config.ledger_path with
+  | None -> ()
+  | Some path -> (
+      try
+        let oc =
+          open_out_gen [ Open_append; Open_creat ] 0o644 path
+        in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            let flight_lines =
+              match t.config.flight with
+              | None -> []
+              | Some f -> Flight.dump f
+            in
+            let record =
+              sorted_obj
+                [
+                  ("error", Json.String msg);
+                  ("ev", Json.String "ledger");
+                  ( "flight",
+                    Json.List
+                      (List.map (fun l -> Json.String l) flight_lines) );
+                  ("request", Json.String line);
+                  ("ts", Json.Float (Unix.gettimeofday ()));
+                ]
+            in
+            output_string oc (Json.to_string record);
+            output_char oc '\n')
+      with Sys_error _ -> ())
+
+let flight_dump_to t path =
+  match t.config.flight with
+  | None -> ()
+  | Some f -> (
+      try
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            List.iter
+              (fun l ->
+                output_string oc l;
+                output_char oc '\n')
+              (Flight.dump f))
+      with Sys_error _ -> ())
+
 let graceful_stop t =
   if t.stopped then []
   else begin
+    (* Final snapshot before the writer closes, so even a short scripted
+       run leaves at least one record in the series. *)
+    (try ignore (snapshot t) with Sys_error _ -> ());
+    Option.iter Snapshot.close t.tele.writer;
     t.stopped <- true;
     let checkpointed =
       List.filter_map
@@ -301,8 +554,20 @@ let graceful_stop t =
 
 (* --- Dispatch ----------------------------------------------------------- *)
 
+let timed_step t s ~iterations =
+  let t0 = Trace.now_ns () in
+  let r = Session.step ~exec_pool:t.pool s ~iterations in
+  Metrics.record t.tele.step (seconds_between t0 (Trace.now_ns ()));
+  r
+
 let handle t (req : Protocol.request) =
-  if t.stopped && req <> Protocol.Stats then Error "server is shut down"
+  if
+    t.stopped
+    && not
+         (match req with
+         | Protocol.Stats | Protocol.Stats_full | Protocol.Prom -> true
+         | _ -> false)
+  then Error "server is shut down"
   else
     match req with
     | Protocol.Open p -> handle_open t p
@@ -310,7 +575,7 @@ let handle t (req : Protocol.request) =
         match find t session with
         | Error e -> Error e
         | Ok s -> (
-            match Session.step ~exec_pool:t.pool s ~iterations with
+            match timed_step t s ~iterations with
             | Error e -> Error e
             | Ok () ->
                 ignore (promote t);
@@ -324,7 +589,7 @@ let handle t (req : Protocol.request) =
             Pool.map
               ~label:(fun i -> "serve.step " ^ List.nth names i)
               t.pool
-              (fun s -> Session.step ~exec_pool:t.pool s ~iterations)
+              (fun s -> timed_step t s ~iterations)
               sessions
           in
           (* All sessions were live and iterations >= 1, so individual
@@ -357,18 +622,39 @@ let handle t (req : Protocol.request) =
               Ok (Protocol.R_close { session; admitted })
             end)
     | Protocol.Stats -> Ok (Protocol.R_stats (stats t))
+    | Protocol.Stats_full -> Ok (Protocol.R_stats_full (stats_full_json t))
+    | Protocol.Prom -> Ok (Protocol.R_prom (Metrics.render_prom ()))
     | Protocol.Shutdown ->
         let checkpointed = graceful_stop t in
         Ok (Protocol.R_shutdown { checkpointed })
 
+let handle t req =
+  let result = handle t req in
+  update_gauges t;
+  result
+
 let handle_line t line =
-  match Protocol.request_of_line line with
-  | Error (id, msg) ->
-      Protocol.response_to_line { r_id = id; r_result = Error msg }
-  | Ok (id, req) ->
-      let result =
-        try handle t req with
-        | Failure e -> Error e
-        | Invalid_argument e -> Error e
-      in
-      Protocol.response_to_line { r_id = id; r_result = result }
+  let t0 = Trace.now_ns () in
+  let response =
+    match Protocol.request_of_line line with
+    | Error (id, msg) ->
+        Metrics.incr t.tele.errors;
+        ledger_append t ~line msg;
+        { Protocol.r_id = id; r_result = Error msg }
+    | Ok (id, req) ->
+        let result =
+          try handle t req with
+          | Failure e -> Error e
+          | Invalid_argument e -> Error e
+        in
+        (match result with
+        | Error msg ->
+            Metrics.incr t.tele.errors;
+            ledger_append t ~line msg
+        | Ok _ -> ());
+        { Protocol.r_id = id; r_result = result }
+  in
+  let rendered = Protocol.response_to_line response in
+  Metrics.incr t.tele.requests;
+  Metrics.record t.tele.wire (seconds_between t0 (Trace.now_ns ()));
+  rendered

@@ -31,11 +31,25 @@ type config = {
   checkpoint_dir : string option;
       (** Default directory for shutdown checkpoints of sessions opened
           without an explicit checkpoint path. *)
+  snapshot_path : string option;
+      (** Rotating JSONL telemetry time series ({!snapshot} appends to
+          it); [None] disables the pump entirely. *)
+  snapshot_every : float;
+      (** Pump cadence in seconds, honored by the daemon's poll loops
+          (the server itself only snapshots when asked). *)
+  flight : Altune_obs.Flight.t option;
+      (** Flight recorder whose retained spans are dumped into failure
+          ledger records and by {!flight_dump_to}. *)
+  ledger_path : string option;
+      (** Failure ledger (append-only JSONL): every request that draws
+          an error reply is recorded with the offending line and the
+          flight recorder's contents. *)
 }
 
 val default_config : config
 (** [jobs = 1], [max_live = 8], [max_queue = 64], no budget cap, no
-    checkpoint directory. *)
+    checkpoint directory, telemetry off ([snapshot_path = None],
+    [snapshot_every = 10.0], no flight recorder, no ledger). *)
 
 type t
 
@@ -60,3 +74,33 @@ val graceful_stop : t -> (string * string) list
 val stopped : t -> bool
 val stats : t -> Protocol.server_stats
 val memo_stats : t -> Protocol.memo_stats
+
+(** {2 Live telemetry}
+
+    The server always maintains latency sketches (per-request wire time,
+    per-step learner time, queue wait, shared-memo wait) and live/queued
+    gauges in the process-wide {!Altune_obs.Metrics} registry.  They
+    never touch the protocol stream: response bytes are identical with
+    telemetry on or off, at any job count. *)
+
+val snapshot : t -> Altune_obs.Json.t
+(** Build one snapshot record — counters, gauges, sketch summaries,
+    [Gc.quick_stat] deltas since the previous snapshot, queue depth,
+    memo hit rate, stamped with the run manifest, every object's keys
+    sorted — and append it to [snapshot_path]'s rotating series when
+    configured.  Returns the record either way. *)
+
+val snapshot_every : t -> float
+(** The configured pump cadence (for the transport loops). *)
+
+val snapshots_on : t -> bool
+(** Whether a snapshot series is configured. *)
+
+val stats_full_json : t -> Altune_obs.Json.t
+(** The [Stats_full] payload: server stats, full metrics snapshot, GC
+    state and uptime as one JSON object. *)
+
+val flight_dump_to : t -> string -> unit
+(** Write the flight recorder's retained span lines to a file
+    (truncating it); no-op without a recorder.  Wired to SIGUSR1 by the
+    daemon loops. *)

@@ -10,6 +10,9 @@ module Trace = Altune_obs.Trace
 module Metrics = Altune_obs.Metrics
 module Manifest = Altune_obs.Manifest
 module Summary = Altune_obs.Summary
+module Quantile = Altune_obs.Quantile
+module Flight = Altune_obs.Flight
+module Snapshot = Altune_obs.Snapshot
 module Pool = Altune_exec.Pool
 module Runs = Altune_experiments.Runs
 module Scale = Altune_experiments.Scale
@@ -288,6 +291,278 @@ let test_counter_contention () =
     "atomic float sum" (float_of_int (8 * per_task))
     (Metrics.histogram_sum h)
 
+(* --- Quantile sketches --------------------------------------------------- *)
+
+let sketch_of values =
+  let s = Quantile.create () in
+  List.iter (Quantile.add s) values;
+  s
+
+let probe_qs = [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ]
+
+let check_sketch_agreement what a b ~with_sum =
+  Alcotest.(check int) (what ^ ": count") (Quantile.count a) (Quantile.count b);
+  Alcotest.(check (float 0.0))
+    (what ^ ": max") (Quantile.max_value a) (Quantile.max_value b);
+  Alcotest.(check (float 0.0))
+    (what ^ ": min") (Quantile.min_value a) (Quantile.min_value b);
+  if with_sum then
+    Alcotest.(check (float 0.0))
+      (what ^ ": sum") (Quantile.sum a) (Quantile.sum b);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "%s: q%.2f" what q)
+        (Quantile.quantile a q) (Quantile.quantile b q))
+    probe_qs
+
+let positive_values =
+  QCheck.(list_of_size (Gen.int_range 1 200) (float_range 1e-3 1e3))
+
+(* Estimated quantiles stay within the sketch's advertised relative
+   error of the exact order statistic (rank = max 1 (ceil q*n)). *)
+let prop_rank_error =
+  QCheck.Test.make ~name:"quantile within alpha of exact" ~count:100
+    positive_values (fun values ->
+      let s = sketch_of values in
+      let sorted = List.sort compare values in
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      let alpha = Quantile.alpha s in
+      List.for_all
+        (fun q ->
+          let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+          let exact = arr.(rank - 1) in
+          let est = Quantile.quantile s q in
+          Float.abs (est -. exact) <= (1.02 *. alpha *. exact) +. 1e-12)
+        probe_qs)
+
+(* Merging is commutative including the float sum: merging two sketches
+   into a fresh copy computes sum_a + sum_b each way, and IEEE addition
+   of two floats is commutative. *)
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"merge commutative (incl. sum)" ~count:60
+    QCheck.(pair positive_values positive_values)
+    (fun (va, vb) ->
+      let a = sketch_of va and b = sketch_of vb in
+      let ab = Quantile.copy a and ba = Quantile.copy b in
+      Quantile.merge_into ab b;
+      Quantile.merge_into ba a;
+      check_sketch_agreement "a+b = b+a" ab ba ~with_sum:true;
+      true)
+
+(* Associative on everything except the sum (integer bucket counts);
+   the sum's round-off depends on addition order, so it is excluded. *)
+let prop_merge_associative =
+  QCheck.Test.make ~name:"merge associative (excl. sum)" ~count:40
+    QCheck.(triple positive_values positive_values positive_values)
+    (fun (va, vb, vc) ->
+      let left =
+        let ab = Quantile.copy (sketch_of va) in
+        Quantile.merge_into ab (sketch_of vb);
+        Quantile.merge_into ab (sketch_of vc);
+        ab
+      in
+      let right =
+        let bc = Quantile.copy (sketch_of vb) in
+        Quantile.merge_into bc (sketch_of vc);
+        let a = Quantile.copy (sketch_of va) in
+        Quantile.merge_into a bc;
+        a
+      in
+      check_sketch_agreement "(a+b)+c = a+(b+c)" left right ~with_sum:false;
+      true)
+
+let test_quantile_underflow_and_empty () =
+  let s = Quantile.create () in
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Quantile.quantile s 0.5));
+  List.iter (Quantile.add s) [ -3.0; 0.0; nan; infinity; 5.0 ];
+  Alcotest.(check int) "every value counted" 5 (Quantile.count s);
+  (* Underflow values rank below everything, so the median of one real
+     value among four underflows is still clamped into [min, max]. *)
+  let est = Quantile.quantile s 1.0 in
+  Alcotest.(check bool) "p100 lands on the real value" true
+    (Float.abs (est -. 5.0) <= 5.0 *. 1.02 *. Quantile.alpha s)
+
+let test_quantile_json_roundtrip () =
+  let s = sketch_of [ 0.004; 0.1; 0.1; 2.5; 40.0 ] in
+  let s' = Quantile.of_json (roundtrip (Quantile.to_json s)) in
+  check_sketch_agreement "json round-trip" s s' ~with_sum:true
+
+(* The property the server's telemetry relies on: per-task sketches
+   merged in task order give the same quantiles at any job count. *)
+let test_sketch_jobs_invariant () =
+  let merged ~jobs =
+    Pool.with_pool ~jobs (fun p ->
+        let per_task =
+          Pool.map p
+            (fun i ->
+              let s = Quantile.create () in
+              for j = 1 to 500 do
+                Quantile.add s
+                  (0.001 *. float_of_int (((i * 7919) + (j * 104729)) mod 10_000))
+              done;
+              s)
+            (List.init 8 (fun i -> i))
+        in
+        let acc = Quantile.create () in
+        List.iter (Quantile.merge_into acc) per_task;
+        acc)
+  in
+  check_sketch_agreement "jobs 1 = jobs 4" (merged ~jobs:1) (merged ~jobs:4)
+    ~with_sum:true
+
+(* --- Metrics reset ------------------------------------------------------- *)
+
+(* Handles created before a reset must stay valid: the next use
+   re-registers the name from zero, or adopts whatever instrument was
+   registered under it since (regression: handles used to keep writing
+   into dropped cells, invisible to snapshot/render). *)
+let test_reset_keeps_handles_valid () =
+  Metrics.reset ();
+  let c = Metrics.counter "t.reset.c" in
+  let g = Metrics.gauge "t.reset.g" in
+  let s = Metrics.sketch "t.reset.s" in
+  Metrics.add c 10;
+  Metrics.set_gauge g 3.5;
+  Metrics.record s 1.0;
+  Metrics.reset ();
+  Metrics.incr c;
+  Alcotest.(check int) "stale counter restarts from zero" 1
+    (Metrics.counter_value c);
+  Alcotest.(check (float 0.0)) "stale gauge restarts from zero" 0.0
+    (Metrics.gauge_value g);
+  Metrics.record s 2.0;
+  Alcotest.(check int) "stale sketch restarts from zero" 1
+    (Quantile.count (Metrics.sketch_data s));
+  (* The re-registered instrument is visible to the registry again. *)
+  (match Json.member "t.reset.c" (Metrics.snapshot ()) with
+  | Some (Json.Int 1) -> ()
+  | _ -> Alcotest.fail "re-registered counter missing from snapshot");
+  (* Adoption: a fresh handle registered after the reset and the stale
+     handle converge on the same cell. *)
+  Metrics.reset ();
+  let c2 = Metrics.counter "t.reset.c" in
+  Metrics.add c2 5;
+  Metrics.incr c;
+  Alcotest.(check int) "stale handle adopts the new instrument" 6
+    (Metrics.counter_value c);
+  Alcotest.(check int) "fresh handle sees the same cell" 6
+    (Metrics.counter_value c2)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let test_render_prom () =
+  Metrics.reset ();
+  Metrics.add (Metrics.counter "t.prom.requests") 3;
+  Metrics.set_gauge (Metrics.gauge "t.prom.depth") 2.0;
+  let h = Metrics.histogram ~buckets:[| 1.0; 2.0 |] "t.prom.lat" in
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 5.0 ];
+  let s = Metrics.sketch "t.prom.wire" in
+  List.iter (Metrics.record s) [ 0.1; 0.2; 0.3 ];
+  let out = Metrics.render_prom () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("exposition contains " ^ needle) true
+        (contains out needle))
+    [
+      "# TYPE t_prom_requests counter";
+      "t_prom_requests 3";
+      "# TYPE t_prom_depth gauge";
+      "t_prom_depth 2";
+      "# TYPE t_prom_lat histogram";
+      "t_prom_lat_bucket{le=\"1\"} 1";
+      "t_prom_lat_bucket{le=\"2\"} 2";
+      "t_prom_lat_bucket{le=\"+Inf\"} 3";
+      "t_prom_lat_count 3";
+      "# TYPE t_prom_wire summary";
+      "t_prom_wire{quantile=\"0.5\"}";
+      "t_prom_wire{quantile=\"0.99\"}";
+      "t_prom_wire_count 3";
+    ];
+  Metrics.reset ()
+
+(* --- Flight recorder ----------------------------------------------------- *)
+
+let test_flight_wraparound () =
+  let f = Flight.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Flight.record f (Printf.sprintf "l%d" i)
+  done;
+  Alcotest.(check (list string)) "last capacity lines, oldest first"
+    [ "l6"; "l7"; "l8"; "l9" ]
+    (Flight.dump f);
+  Alcotest.(check int) "every line counted" 10 (Flight.total_recorded f);
+  Flight.clear f;
+  Alcotest.(check (list string)) "clear empties the rings" [] (Flight.dump f)
+
+let test_flight_domain_isolation () =
+  let f = Flight.create ~capacity:4 () in
+  Flight.record f "main-0";
+  Flight.record f "main-1";
+  let d =
+    Domain.spawn (fun () ->
+        Flight.record f "child-0";
+        Flight.record f "child-1")
+  in
+  Domain.join d;
+  (* The spawned domain has the higher id, so its ring dumps second;
+     within each domain the lines keep emission order. *)
+  Alcotest.(check (list string)) "domains isolated, ascending id order"
+    [ "main-0"; "main-1"; "child-0"; "child-1" ]
+    (Flight.dump f)
+
+(* The recorder only retains lines: an experiment with the flight
+   recorder installed produces byte-identical output. *)
+let test_output_identical_with_flight () =
+  let run () =
+    Runs.clear_cache ();
+    Drivers.table1 ~benchmarks:[ "hessian" ] ~scale:Scale.smoke ~seed:1 ()
+  in
+  let plain = run () in
+  let f = Flight.create ~capacity:64 () in
+  Flight.install f;
+  let recorded =
+    Fun.protect ~finally:Trace.uninstall (fun () -> run ())
+  in
+  Alcotest.(check string) "byte-identical table" plain recorded;
+  Alcotest.(check bool) "recorder saw trace lines" true
+    (Flight.total_recorded f > 0);
+  Runs.clear_cache ()
+
+(* --- Snapshot series ----------------------------------------------------- *)
+
+let test_snapshot_rotation () =
+  let path = Filename.temp_file "altune-snap" ".jsonl" in
+  let w = Snapshot.create ~rotate_after:2 ~keep:2 path in
+  for i = 1 to 5 do
+    Snapshot.write w (Json.Obj [ ("i", Json.Int i) ])
+  done;
+  Snapshot.close w;
+  let seq p =
+    List.filter_map
+      (fun j -> Option.bind (Json.member "i" j) Json.to_int_opt)
+      (Snapshot.load p)
+  in
+  Alcotest.(check (list int)) "live file holds the newest" [ 5 ] (seq path);
+  Alcotest.(check (list int)) "first rotation" [ 3; 4 ] (seq (path ^ ".1"));
+  Alcotest.(check (list int)) "second rotation" [ 1; 2 ] (seq (path ^ ".2"));
+  let all =
+    List.filter_map
+      (fun j -> Option.bind (Json.member "i" j) Json.to_int_opt)
+      (Snapshot.load_all path)
+  in
+  Alcotest.(check (list int)) "load_all is oldest-first" [ 1; 2; 3; 4; 5 ] all;
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ path; path ^ ".1"; path ^ ".2" ];
+  Alcotest.(check (list int)) "missing file is an empty series" []
+    (List.filter_map Json.to_int_opt (Snapshot.load path))
+
 (* --- Manifest ----------------------------------------------------------- *)
 
 let test_manifest_roundtrip () =
@@ -512,6 +787,37 @@ let () =
             test_registry_identity_and_kinds;
           Alcotest.test_case "counter contention" `Quick
             test_counter_contention;
+        ] );
+      ( "quantile",
+        [
+          Alcotest.test_case "underflow and empty" `Quick
+            test_quantile_underflow_and_empty;
+          Alcotest.test_case "json round-trip" `Quick
+            test_quantile_json_roundtrip;
+          Alcotest.test_case "merged sketches identical at jobs=1 and jobs=4"
+            `Quick test_sketch_jobs_invariant;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_rank_error; prop_merge_commutative; prop_merge_associative ]
+      );
+      ( "reset",
+        [
+          Alcotest.test_case "handles survive reset" `Quick
+            test_reset_keeps_handles_valid;
+          Alcotest.test_case "prometheus exposition" `Quick test_render_prom;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring wraparound" `Quick test_flight_wraparound;
+          Alcotest.test_case "per-domain isolation" `Quick
+            test_flight_domain_isolation;
+          Alcotest.test_case "output identical with recorder on" `Slow
+            test_output_identical_with_flight;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "rotation and load_all" `Quick
+            test_snapshot_rotation;
         ] );
       ( "manifest",
         [ Alcotest.test_case "round-trip" `Quick test_manifest_roundtrip ] );

@@ -10,8 +10,19 @@ module Server = Altune_serve.Server
 module Json = Altune_obs.Json
 
 let server ?(jobs = 1) ?(max_live = 8) ?(max_queue = 64) ?budget_cap
-    ?checkpoint_dir () =
-  Server.create { Server.jobs; max_live; max_queue; budget_cap; checkpoint_dir }
+    ?checkpoint_dir ?snapshot_path ?flight ?ledger_path () =
+  Server.create
+    {
+      Server.jobs;
+      max_live;
+      max_queue;
+      budget_cap;
+      checkpoint_dir;
+      snapshot_path;
+      snapshot_every = 10.0;
+      flight;
+      ledger_path;
+    }
 
 let open_params ?(scale = "smoke") ?(seed = 42) ?fault ?budget ?n_max
     ?checkpoint name bench =
@@ -71,6 +82,8 @@ let sample_requests =
     Protocol.Checkpoint { session = "alpha"; path = None };
     Protocol.Close { session = "beta" };
     Protocol.Stats;
+    Protocol.Stats_full;
+    Protocol.Prom;
     Protocol.Shutdown;
   ]
 
@@ -141,8 +154,28 @@ let sample_responses =
                s_queued = 1;
                s_done = 1;
                s_closed = 1;
+               s_max_live = 8;
+               s_max_queue = 64;
                s_memo = memo;
              });
+    };
+    {
+      Protocol.r_id = Some 7;
+      r_result =
+        Ok
+          (Protocol.R_stats_full
+             (Json.Obj
+                [
+                  ("uptime_s", Json.Float 1.5);
+                  ("server", Json.Obj [ ("live", Json.Int 2) ]);
+                ]));
+    };
+    {
+      Protocol.r_id = Some 8;
+      r_result =
+        Ok
+          (Protocol.R_prom
+             "# TYPE serve_requests counter\nserve_requests 12\n");
     };
     {
       Protocol.r_id = Some 3;
@@ -403,6 +436,61 @@ let test_checkpoint_rules () =
        (Server.handle s (Protocol.Checkpoint { session = "stock"; path = None })));
   Sys.remove path
 
+(* --- Failure ledger ------------------------------------------------------ *)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+(* Any error reply appends a record to the failure ledger, carrying the
+   offending request line and a dump of the flight recorder's retained
+   trace lines. *)
+let test_failure_ledger () =
+  let ledger = Filename.temp_file "altune-ledger" ".jsonl" in
+  Sys.remove ledger;
+  let flight = Altune_obs.Flight.create ~capacity:8 () in
+  Altune_obs.Flight.install flight;
+  Fun.protect ~finally:Altune_obs.Trace.uninstall (fun () ->
+      let s = server ~ledger_path:ledger ~flight () in
+      ignore (Server.handle_line s "{oops");
+      ignore
+        (Server.handle_line s "{\"req\": \"step\", \"session\": \"ghost\"}");
+      let records =
+        List.map
+          (fun line ->
+            match Json.of_string line with
+            | Ok j -> j
+            | Error e -> Alcotest.failf "ledger line unparseable: %s" e)
+          (read_lines ledger)
+      in
+      Alcotest.(check int) "one ledger record per error" 2
+        (List.length records);
+      List.iter
+        (fun r ->
+          Alcotest.(check (option string))
+            "tagged as ledger record" (Some "ledger")
+            (Option.bind (Json.member "ev" r) Json.to_string_opt);
+          Alcotest.(check bool) "carries the error" true
+            (Json.member "error" r <> None);
+          Alcotest.(check bool) "carries the request line" true
+            (Json.member "request" r <> None);
+          match Json.member "flight" r with
+          | Some (Json.List _) -> ()
+          | _ -> Alcotest.fail "flight dump missing from ledger record")
+        records;
+      (* An OK request appends nothing. *)
+      ignore (Server.handle_line s "{\"req\": \"stats\"}");
+      Alcotest.(check int) "ok requests leave the ledger alone" 2
+        (List.length (read_lines ledger)));
+  Sys.remove ledger
+
 (* --- Transcript determinism ---------------------------------------------- *)
 
 (* A fixed scripted client: overlapping tenants on two kernels, a queued
@@ -469,6 +557,11 @@ let () =
         [
           Alcotest.test_case "cross-session accounting" `Quick
             test_memo_accounting;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "errors land in the failure ledger" `Quick
+            test_failure_ledger;
         ] );
       ( "determinism",
         [
