@@ -60,6 +60,7 @@ let problem =
         ignore run_index;
         measure_native c);
     compile_seconds;
+    prepare = ignore;
   }
 
 let () =

@@ -8,6 +8,7 @@ type t = {
   features : config -> float array;
   measure : rng:Altune_prng.Rng.t -> run_index:int -> config -> float;
   compile_seconds : config -> float;
+  prepare : config list -> unit;
 }
 
 let key config =

@@ -19,6 +19,14 @@ type t = {
   compile_seconds : config -> float;
       (** Cost of building the configuration's binary (charged once per
           distinct configuration). *)
+  prepare : config list -> unit;
+      (** Hint that the listed configurations are about to be measured.
+          An implementation may warm deterministic per-configuration
+          state (transformed kernels, evaluation caches) — possibly in
+          parallel — but must not change any observable measurement:
+          [measure] after [prepare] returns exactly what it would have
+          returned without it.  Implementations with nothing to warm use
+          [ignore]. *)
 }
 
 val key : config -> string

@@ -411,7 +411,14 @@ let update ~rng t i =
                 split_counts = bump_split_counts d 1;
               };
             set_delta [ l ] (grown_node l d thr suff_l suff_r)
-        | Prune -> assert false)
+        | Prune ->
+            raise
+              (Failure
+                 (Printf.sprintf
+                    "Tree.update: root leaf (%d obs, depth %d) proposed a \
+                     prune, but it was offered no prune context — \
+                     leaf_moves must never prune without a sibling"
+                    (List.length l.indices) depth)))
     | Split s ->
         let goes_left = x_at s.dim <= s.threshold in
         let child = if goes_left then s.left else s.right in
@@ -444,7 +451,15 @@ let update ~rng t i =
                 let sl =
                   match sibling with
                   | Leaf sl -> sl
-                  | Split _ -> assert false
+                  | Split _ ->
+                      raise
+                        (Failure
+                           (Printf.sprintf
+                              "Tree.update: prune of the leaf at depth %d \
+                               (split dim %d, threshold %g) accepted \
+                               against a Split sibling — prune moves are \
+                               only offered when the sibling is a leaf"
+                              (depth + 1) s.dim s.threshold))
                 in
                 stats :=
                   {
@@ -482,7 +497,14 @@ let update ~rng t i =
   in
   match !delta with
   | Some d -> (t', d)
-  | None -> assert false (* every update replaces exactly one leaf path *)
+  | None ->
+      raise
+        (Failure
+           (Printf.sprintf
+              "Tree.update: observation %d traversed the tree without \
+               replacing a leaf — every update must end in exactly one \
+               Stay/Grow/Prune move"
+              i))
 
 (* --- Reference-set member caches (incremental ALC support) ------------ *)
 

@@ -29,4 +29,5 @@ let problem_of ?(verify = false) bench =
         if verify then gate c;
         Spapt.measure bench ~rng ~run_index c);
     compile_seconds = (fun c -> Spapt.compile_seconds bench c);
+    prepare = (fun cs -> Spapt.prepare bench cs);
   }

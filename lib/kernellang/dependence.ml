@@ -396,7 +396,17 @@ let dependences (k : Ast.kernel) =
     scalars_written;
   List.rev !deps
 
-let carried_by k loop =
+(* A summary is the dependence set computed once and queried many times:
+   the legality predicates below only ever inspect direction vectors, so
+   callers that ask several questions about the same kernel (tile-nest
+   permutability is a pairwise sweep; the fork trie re-audits cached
+   nodes) can pay for [dependences] once. *)
+type summary = { all : dependence list }
+
+let summarize k = { all = dependences k }
+let summary_dependences s = s.all
+
+let carried_in s loop =
   List.filter
     (fun d ->
       let rec go = function
@@ -410,7 +420,9 @@ let carried_by k loop =
             else false (* definitely carried by an outer loop *)
       in
       go d.directions)
-    (dependences k)
+    s.all
+
+let carried_by k loop = carried_in (summarize k) loop
 
 let parallel k loop = carried_by k loop = []
 
@@ -466,8 +478,8 @@ let permute order v =
     order
   @ List.filter (fun (l, _) -> not (List.mem l order)) v
 
-let interchange_legal k ~outer ~inner =
-  let deps = dependences k in
+let interchange_in s ~outer ~inner =
+  let deps = s.all in
   List.for_all
     (fun d ->
       let relevant =
@@ -490,11 +502,13 @@ let interchange_legal k ~outer ~inner =
            (expansions d.directions))
     deps
 
-let jam_legal k loop =
+let interchange_legal k ~outer ~inner = interchange_in (summarize k) ~outer ~inner
+
+let jam_in s loop =
   (* Unroll-and-jam of [loop] interleaves its iterations inside all loops
      nested within it: legal iff sinking [loop] to the innermost position
      never reverses a dependence. *)
-  let deps = dependences k in
+  let deps = s.all in
   List.for_all
     (fun d ->
       let loops = List.map fst d.directions in
@@ -507,6 +521,8 @@ let jam_legal k loop =
              not (lex_negative (permute order v)))
            (expansions d.directions))
     deps
+
+let jam_legal k loop = jam_in (summarize k) loop
 
 (* Shared safety core for fusion and distribution: every access pair
    between an "earlier" and a "later" code region touching a common array

@@ -359,3 +359,13 @@ let ast_size (k : Ast.kernel) = stmt_size k.body
    kernels. *)
 let compile_seconds _cfg (k : Ast.kernel) =
   0.06 +. (2e-5 *. float_of_int (ast_size k))
+
+type evaluation = { runtime : float; compile : float }
+
+let evaluate cfg (k : Ast.kernel) =
+  {
+    runtime = runtime_seconds cfg (Analysis.analyze k);
+    compile = compile_seconds cfg k;
+  }
+
+let evaluate_all cfg ks = List.map (evaluate cfg) ks

@@ -75,3 +75,16 @@ val compile_seconds : config -> Altune_kernellang.Ast.kernel -> float
 
 val ast_size : Altune_kernellang.Ast.kernel -> int
 (** Node count of a kernel, the compile-time driver. *)
+
+type evaluation = { runtime : float; compile : float }
+(** Both priced quantities of one transformed kernel — what a tuner needs
+    per candidate, in one call. *)
+
+val evaluate : config -> Altune_kernellang.Ast.kernel -> evaluation
+(** [{runtime = runtime_seconds cfg (Analysis.analyze k); compile =
+    compile_seconds cfg k}].  Pure, so batch callers may fan kernels out
+    across domains and keep slot-indexed results deterministic. *)
+
+val evaluate_all :
+  config -> Altune_kernellang.Ast.kernel list -> evaluation list
+(** [evaluate] over a batch, in input order. *)

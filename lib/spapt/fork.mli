@@ -1,0 +1,81 @@
+(** Transformation-prefix trie: compilation forking for recipe batches.
+
+    Sibling candidates in an autotuning batch usually share a recipe
+    prefix (same tile nest, different unroll factor).  Re-running
+    {!Altune_kernellang.Verify.apply_steps} from scratch re-transforms
+    and re-analyzes that shared prefix once per sibling; the trie pays
+    for each distinct prefix once.  Nodes are keyed by the normalized
+    step list ({!Altune_kernellang.Verify.normalize_steps}, edges
+    labelled with {!Altune_kernellang.Verify.step_key}); each node
+    caches the kernel transformed up to that prefix and, on demand, its
+    re-run dependence analysis.  Resolving a recipe walks to the deepest
+    cached ancestor and applies only the suffix.
+
+    Determinism contract: a resolved kernel is {e byte-identical} to
+    from-scratch application — cached nodes were produced by the same
+    [apply_step] calls on the same ASTs, and normalization only drops
+    steps {!Altune_kernellang.Transform} treats as exact no-ops.  The
+    trie is therefore safe to leave enabled for measurement paths that
+    promise bit-reproducible output.  [altune check --fork-audit]
+    re-establishes this differentially on sampled recipes.
+
+    Thread safety: all trie state is guarded by one mutex; step
+    application and dependence analysis run outside the lock and insert
+    first-wins (concurrent inserts compute identical values).  Safe to
+    share across {!Altune_exec.Pool} tasks. *)
+
+module Ast = Altune_kernellang.Ast
+module Verify = Altune_kernellang.Verify
+module Transform = Altune_kernellang.Transform
+module Dependence = Altune_kernellang.Dependence
+
+type t
+
+val create : ?max_nodes:int -> Ast.kernel -> t
+(** A trie rooted at the untransformed kernel.  At most [max_nodes]
+    (default 4096) prefixes are cached; past the cap, resolution still
+    works but stops inserting (no eviction: trie nodes are shared
+    ancestors, evicting one would orphan its subtree). *)
+
+val root_kernel : t -> Ast.kernel
+
+val resolve :
+  t -> Verify.step list -> (Ast.kernel, Transform.error) result
+(** The kernel with the steps applied, byte-identical to
+    [Verify.apply_steps (Verify.normalize_steps steps) (root_kernel t)]
+    (and hence to applying the raw steps, by the normalization
+    contract).  Reuses the deepest cached prefix and caches every new
+    prefix on the way down. *)
+
+val resolved_summary :
+  t -> Verify.step list -> (Dependence.summary, Transform.error) result
+(** The dependence summary of the resolved kernel, cached at its trie
+    node (computed at most once per node). *)
+
+val audit :
+  ?param_overrides:(string * int) list ->
+  ?tolerance:float ->
+  ?subject:string ->
+  t ->
+  Verify.step list ->
+  Verify.verdict
+(** Trie-accelerated {!Altune_kernellang.Verify.run} over the normalized
+    steps: pre-step kernels come from cached nodes and legality consults
+    cached dependence summaries ({!Verify.legality_in}), while the
+    interpreter-based checks still execute in full.  The verdict is
+    identical to [Verify.run] on the same normalized step list. *)
+
+type stats = {
+  nodes : int;  (** Cached prefixes, root excluded. *)
+  resolves : int;  (** [resolve]/[audit] walks performed. *)
+  steps_reused : int;  (** Steps satisfied by a cached node. *)
+  steps_applied : int;  (** Steps applied (and cached) on a miss. *)
+  summaries_reused : int;
+  summaries_computed : int;
+}
+
+val stats : t -> stats
+
+val reuse_rate : stats -> float
+(** [steps_reused / (steps_reused + steps_applied)]; 0 before any
+    resolution. *)

@@ -33,9 +33,16 @@ val dim : t -> int
 val space_size : t -> float
 (** Product of knob cardinalities. *)
 
-val create : ?machine:Altune_machine.Machine.config -> string -> t
+val create :
+  ?machine:Altune_machine.Machine.config -> ?cache_capacity:int -> string -> t
 (** [create name] builds the named benchmark with its calibrated noise
-    model.  Raises [Not_found] for unknown names. *)
+    model.  Raises [Not_found] for unknown names.  [cache_capacity]
+    (default 8192) bounds the private evaluation cache; at capacity,
+    entries are evicted second-chance ("clock") oldest-unreferenced
+    first.  Eviction only ever costs recomputation — every cached value
+    is a deterministic function of its configuration.  The cache exports
+    [spapt.cache.hits]/[.misses]/[.evictions] counters and the
+    [spapt.cache.entries] gauge to {!Altune_obs.Metrics}. *)
 
 val all : unit -> t list
 (** All 11 benchmarks, Table 1 order. *)
@@ -55,7 +62,37 @@ val transformed : t -> int array -> Altune_kernellang.Ast.kernel
 (** The kernel with the configuration's transformations applied —
     [recipe] run through {!Altune_kernellang.Verify.apply_steps}.  Raises
     [Invalid_argument] if the configuration is out of range; transformation
-    recipes are total over valid configurations. *)
+    recipes are total over valid configurations.  With forking enabled
+    (the default) the recipe is resolved through the benchmark's
+    transformation-prefix trie ({!Fork}), which is byte-identical to
+    from-scratch application. *)
+
+val set_fork : t -> bool -> unit
+(** Enable or disable prefix-trie resolution for {!transformed},
+    {!verify_config} and every measurement behind them.  Disabling is
+    for differential baselines (e.g. [altune check --fork-audit], the
+    [--fork] bench section): resolved kernels are byte-identical either
+    way. *)
+
+val fork_enabled : t -> bool
+
+val fork_stats : t -> Fork.stats
+(** Prefix-reuse counters of the benchmark's trie. *)
+
+val set_pool : t -> Altune_exec.Pool.t option -> unit
+(** Give the benchmark an execution pool for {!prepare} to fan batches
+    out on.  [None] (the default) computes batches sequentially. *)
+
+val prepare : t -> int array list -> unit
+(** Warm the evaluation cache for a batch of configurations about to be
+    measured: uncached members (deduplicated, invalid ones skipped) are
+    evaluated — in parallel on the {!set_pool} pool when one is set with
+    jobs > 1 — and the results written back in input order.  Because
+    every evaluation is deterministic, a warmed cache changes no
+    observable output at any job count; subsequent {!measure} /
+    {!true_runtime} calls just stop paying for the transform.  No-op
+    when a {!set_share} hook is installed (the shared memo owns
+    evaluation state) and for batches smaller than two. *)
 
 val small_params : t -> (string * int) list
 (** Problem-size overrides small enough for interpreter-based soundness

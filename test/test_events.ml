@@ -276,6 +276,7 @@ let test_eval_events_match_curve () =
           in
           Float.max 1e-6 (truth *. (1.0 +. Rng.normal ~sigma:0.05 rng)));
       compile_seconds = (fun _ -> 0.05);
+      prepare = ignore;
     }
   in
   let dataset =

@@ -39,6 +39,7 @@ let synthetic ?(noise = 0.05) () =
         ignore run_index;
         Float.max 1e-6 (truth c *. (1.0 +. Rng.normal ~sigma:(sigma c) rng)));
     compile_seconds = (fun _ -> 0.05);
+    prepare = ignore;
   }
 
 let tiny_settings =

@@ -156,6 +156,7 @@ let test_learner_runs_with_gp () =
             (1.0 +. (0.002 *. (x -. 20.0) *. (x -. 20.0))
             +. Rng.normal ~sigma:0.02 rng));
       compile_seconds = (fun _ -> 0.01);
+      prepare = ignore;
     }
   in
   let dataset =
